@@ -1,0 +1,53 @@
+"""Ablation D3: how the CLP-count cap affects throughput.
+
+Section 4.1 argues *against* one-CLP-per-layer designs and for a small
+number of CLPs; Section 4.3 notes capping the CLP count speeds up the
+search.  This sweep quantifies the diminishing returns: most of the
+Multi-CLP win arrives by 3-4 CLPs.
+
+Bands: epoch never increases with more allowed CLPs; 2 CLPs already
+recover >=50% of the 6-CLP improvement over Single-CLP for AlexNet
+fixed16 (the paper's highest-variance case) and 3 CLPs >=95% of it.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.datatypes import FIXED16
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet
+from repro.opt import optimize_multi_clp
+
+CLP_COUNTS = (1, 2, 3, 4, 6, 8)
+
+
+def measure():
+    network = alexnet()
+    budget = budget_for("690t")
+    return {
+        count: optimize_multi_clp(
+            network, budget, FIXED16, max_clps=count
+        ).epoch_cycles
+        for count in CLP_COUNTS
+    }
+
+
+def test_clp_count_ablation(benchmark, record_artifact):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    single = results[1]
+    best = min(results.values())
+    table = render_table(
+        ["max CLPs", "epoch cycles", "speedup vs single"],
+        [
+            (count, cycles, f"{single / cycles:.2f}x")
+            for count, cycles in sorted(results.items())
+        ],
+        title="Ablation D3: CLP count cap (AlexNet fixed16, 690T)",
+    )
+    record_artifact("ablation_clp_count", table)
+    ordered = [results[c] for c in sorted(results)]
+    assert all(b <= a for a, b in zip(ordered, ordered[1:]))
+    gain_two = single - results[2]
+    gain_three = single - results[3]
+    gain_full = single - best
+    assert gain_full > 0
+    assert gain_two >= 0.5 * gain_full
+    assert gain_three >= 0.95 * gain_full

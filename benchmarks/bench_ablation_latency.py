@@ -1,0 +1,60 @@
+"""Ablation: latency-constrained (adjacent) assignment vs free ordering.
+
+Section 4.1: restricting each CLP to layers adjacent in the CNN lets a
+CLP push one image through all its layers per epoch, cutting in-flight
+images from the layer count to the CLP count — "one can reduce latency
+by limiting the number of CLPs, but this is achieved at the cost of
+throughput".
+
+Bands: the adjacent design's latency is far below the general design's
+(which keeps one image per layer in flight); its epoch is never shorter
+than the free-ordering design's; latency shrinks monotonically as the
+CLP cap drops.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.datatypes import FLOAT32
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet
+from repro.opt import (
+    latency_throughput_frontier,
+    optimize_multi_clp,
+)
+
+
+def measure():
+    budget = budget_for("485t")
+    network = alexnet()
+    free = optimize_multi_clp(network, budget, FLOAT32)
+    frontier = latency_throughput_frontier(
+        network, budget, FLOAT32, max_clps=6
+    )
+    return free, frontier
+
+
+def test_latency_ablation(benchmark, record_artifact):
+    free, frontier = benchmark.pedantic(measure, rounds=1, iterations=1)
+    free_latency = free.pipeline_depth_images * free.epoch_cycles
+    rows = [
+        (cap, latency, epoch, f"{free_latency / latency:.1f}x")
+        for cap, latency, epoch in frontier
+    ]
+    table = render_table(
+        ["CLP cap", "latency cycles", "epoch cycles", "latency win vs free"],
+        rows,
+        title=(
+            "Ablation: adjacent assignment latency "
+            f"(free design: epoch {free.epoch_cycles}, "
+            f"latency {free_latency}, {free.pipeline_depth_images} in flight)"
+        ),
+    )
+    record_artifact("ablation_latency", table)
+
+    latencies = [latency for _, latency, _ in frontier]
+    epochs = [epoch for _, _, epoch in frontier]
+    # Latency always beats the free design (10 in-flight images).
+    assert all(latency < free_latency for latency in latencies)
+    # Throughput cost: adjacent epochs never beat the free ordering.
+    assert all(epoch >= free.epoch_cycles for epoch in epochs)
+    # More CLPs: epoch improves (throughput), latency need not.
+    assert epochs == sorted(epochs, reverse=True)

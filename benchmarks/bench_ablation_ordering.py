@@ -1,0 +1,50 @@
+"""Ablation D1: the layer-ordering heuristic of OptimizeCompute.
+
+The paper prunes the exponential assignment space by only grouping
+layers adjacent in a heuristic order (Section 4.3).  This ablation
+compares natural network order, compute-to-data ratio, and the (N, M)
+nearest-neighbour chain on GoogLeNet fixed16 — the hardest case (57
+layers, strong dimension diversity).
+
+Band: at least one similarity-based order (nm-distance or
+compute-to-data) matches or beats natural order; all orders stay within
+15% of the best, showing the contiguity restriction is robust.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.datatypes import FIXED16
+from repro.fpga.parts import budget_for
+from repro.networks import googlenet
+from repro.opt import optimize_multi_clp
+
+ORDERINGS = ("natural", "compute-to-data", "nm-distance")
+
+
+def measure():
+    network = googlenet()
+    budget = budget_for("690t")
+    results = {}
+    for ordering in ORDERINGS:
+        design = optimize_multi_clp(network, budget, FIXED16, ordering=ordering)
+        results[ordering] = design.epoch_cycles
+    return results
+
+
+def test_ordering_ablation(benchmark, record_artifact):
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    best = min(results.values())
+    table = render_table(
+        ["ordering", "epoch cycles", "vs best"],
+        [
+            (name, cycles, f"{cycles / best:.3f}x")
+            for name, cycles in sorted(results.items(), key=lambda kv: kv[1])
+        ],
+        title="Ablation D1: layer ordering heuristic (GoogLeNet fixed16, 690T)",
+    )
+    record_artifact("ablation_ordering", table)
+    similarity_best = min(
+        results["nm-distance"], results["compute-to-data"]
+    )
+    assert similarity_best <= results["natural"] * 1.001
+    for cycles in results.values():
+        assert cycles <= best * 1.15

@@ -1,0 +1,65 @@
+"""Extension: the paper's scaling trend continued to int8 arithmetic.
+
+Section 6.2 observes that "larger improvements are seen when the number
+of available arithmetic units increases".  Packing two int8 MACs per
+DSP slice (standard on DSP48E2) doubles the units again beyond fixed16;
+this bench extends Table 1's AlexNet column one step further.
+
+Bands: Single-CLP utilization strictly decreases float32 -> fixed16 ->
+int8 while Multi-CLP stays above 85%, so the *utilization ratio* grows
+monotonically (3.7x at fixed16, >6x at int8).  The raw epoch speedup
+saturates beyond fixed16: AlexNet's conv1 floors any design at
+R*C*K^2 = 366k cycles, which the fixed16 Multi-CLP already reaches —
+itself a faithful consequence of the paper's cycle model.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.datatypes import FIXED16, FLOAT32, INT8
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet
+from repro.opt import optimize_multi_clp, optimize_single_clp
+
+DTYPES = (FLOAT32, FIXED16, INT8)
+
+
+def measure():
+    budget = budget_for("690t")
+    network = alexnet()
+    rows = []
+    for dtype in DTYPES:
+        single = optimize_single_clp(network, budget, dtype)
+        multi = optimize_multi_clp(network, budget, dtype)
+        rows.append(
+            {
+                "dtype": dtype.label,
+                "single_util": single.arithmetic_utilization,
+                "multi_util": multi.arithmetic_utilization,
+                "speedup": single.epoch_cycles / multi.epoch_cycles,
+            }
+        )
+    return rows
+
+
+def test_int8_scaling_extension(benchmark, record_artifact):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = render_table(
+        ["dtype", "S-CLP util", "M-CLP util", "epoch speedup"],
+        [
+            (
+                r["dtype"],
+                f"{r['single_util']:.1%}",
+                f"{r['multi_util']:.1%}",
+                f"{r['speedup']:.2f}x",
+            )
+            for r in rows
+        ],
+        title="Extension: AlexNet on 690T as MACs-per-DSP grows",
+    )
+    record_artifact("extension_int8", table)
+    singles = [r["single_util"] for r in rows]
+    assert singles[0] > singles[1] > singles[2]
+    assert all(r["multi_util"] > 0.85 for r in rows)
+    ratios = [r["multi_util"] / r["single_util"] for r in rows]
+    assert ratios[0] < ratios[1] < ratios[2]
+    assert ratios[2] > 6.0
+    assert all(r["speedup"] >= 1.5 for r in rows)

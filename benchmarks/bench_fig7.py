@@ -1,0 +1,35 @@
+"""Figure 7: throughput vs DSP budget, Single- vs Multi-CLP.
+
+Bands: Multi-CLP never loses to Single-CLP; the advantage *grows* with
+the budget (the paper's central scaling claim); the speedup is ~1.2-1.5x
+near 2,240 DSPs and >2.5x by 9,216+ DSPs (paper: 1.3x -> 3.3x); Multi-CLP
+throughput increases monotonically with the budget.
+"""
+
+from repro.analysis.figures import figure7
+
+SWEEP = (500, 1000, 2240, 2880, 4500, 6840, 9216, 10000)
+
+
+def test_figure7(benchmark, record_artifact):
+    result = benchmark.pedantic(
+        figure7, kwargs={"dsp_sweep": SWEEP}, rounds=1, iterations=1
+    )
+    record_artifact("figure7", result.format())
+    by_dsp = {p.dsp: p for p in result.points}
+    for point in result.points:
+        assert point.single_throughput is not None
+        assert point.multi_throughput is not None
+        assert point.multi_throughput >= point.single_throughput * 0.999
+
+    # Speedup grows with the DSP budget.
+    small = by_dsp[2240].speedup
+    large = by_dsp[9216].speedup
+    assert small is not None and large is not None
+    assert 1.15 <= small <= 1.6    # paper: ~1.3x at 2,240
+    assert large >= 2.2            # paper: ~3.3x at 9,600
+    assert large > small
+
+    # Multi-CLP throughput scales with resources.
+    multi = [p.multi_throughput for p in result.points]
+    assert all(b >= a * 0.999 for a, b in zip(multi, multi[1:]))

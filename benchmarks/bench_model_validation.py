@@ -1,0 +1,59 @@
+"""Section 6.4-style validation: simulators vs analytic models.
+
+* The cycle-level CLP simulator must match the analytic cycle model
+  exactly at unlimited bandwidth and differ only by pipeline depth per
+  tile otherwise (the paper's RTL-simulation observation).
+* The Multi-CLP discrete-event simulation at 1.2x the modelled
+  bandwidth requirement stays within 5% of the modelled epoch.
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.tables import design_for
+from repro.sim import simulate_clp, simulate_system, tile_sequence
+
+
+def measure():
+    design = design_for("alexnet", "485t", "float32", single=False)
+    rows = []
+    for index, clp in enumerate(design.clps):
+        exact = simulate_clp(clp)
+        deep = simulate_clp(clp, pipeline_depth=12)
+        tiles = sum(
+            len(tile_sequence(layer, clp.tn, clp.tm, tr, tc))
+            for layer, (tr, tc) in zip(clp.layers, clp.tile_plans)
+        )
+        rows.append(
+            {
+                "clp": index,
+                "model": clp.total_cycles,
+                "sim": exact.total_cycles,
+                "sim_depth12": deep.total_cycles,
+                "tiles": tiles,
+            }
+        )
+    need = design.required_bandwidth_bytes_per_cycle()
+    capped = simulate_system(design, bytes_per_cycle=need * 1.2)
+    return design, rows, capped
+
+
+def test_model_validation(benchmark, record_artifact):
+    design, rows, capped = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = render_table(
+        ["CLP", "model cycles", "sim cycles", "sim depth=12", "tiles"],
+        [
+            (r["clp"], r["model"], f"{r['sim']:.0f}",
+             f"{r['sim_depth12']:.0f}", r["tiles"])
+            for r in rows
+        ],
+        title="Model vs cycle-level simulation (AlexNet 485T Multi-CLP)",
+    )
+    epoch_line = (
+        f"system DES at 1.2x modelled bandwidth: epoch "
+        f"{capped.epoch_cycles:.0f} vs model {design.epoch_cycles} "
+        f"({capped.epoch_cycles / design.epoch_cycles:.4f}x)"
+    )
+    record_artifact("model_validation", table + "\n" + epoch_line)
+    for r in rows:
+        assert r["sim"] == r["model"]  # exact at unlimited bandwidth
+        assert r["sim_depth12"] == r["model"] + 12 * r["tiles"]
+    assert capped.epoch_cycles <= design.epoch_cycles * 1.05

@@ -1,0 +1,38 @@
+"""Table 3: AlexNet float resources and throughput at 100 MHz.
+
+Bands: DSP counts match the paper exactly; throughput within 5%;
+bandwidth within 25% (the paper's operating point trades BRAM for
+bandwidth slightly differently along the same frontier); Multi-CLP beats
+Single-CLP on both devices.
+"""
+
+import pytest
+
+from repro.analysis.tables import table3
+
+
+def test_table3(benchmark, record_artifact):
+    result = benchmark.pedantic(table3, rounds=1, iterations=1)
+    record_artifact("table3", result.format())
+    by_scenario = {row.scenario: row for row in result.rows}
+    for row in result.rows:
+        assert row.dsp == row.paper.dsp, row.scenario
+        assert row.throughput == pytest.approx(row.paper.throughput, rel=0.05)
+        assert row.bandwidth_gbps == pytest.approx(
+            row.paper.bandwidth_gbps, rel=0.25
+        )
+    assert (
+        by_scenario["485t M-CLP"].throughput
+        > by_scenario["485t S-CLP"].throughput
+    )
+    # Paper: 1.31x on the 485T and 1.54x on the 690T.
+    speedup_485 = (
+        by_scenario["485t M-CLP"].throughput
+        / by_scenario["485t S-CLP"].throughput
+    )
+    speedup_690 = (
+        by_scenario["690t M-CLP"].throughput
+        / by_scenario["690t S-CLP"].throughput
+    )
+    assert 1.25 <= speedup_485 <= 1.45
+    assert 1.40 <= speedup_690 <= 1.65

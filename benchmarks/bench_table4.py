@@ -1,0 +1,28 @@
+"""Table 4: SqueezeNet fixed16 Single- and Multi-CLP configurations.
+
+Bands: Single-CLP epochs within 1% of the paper (349k / 331k cycles);
+Multi-CLP epochs match or beat the paper's (185k / 145k).
+"""
+
+import pytest
+
+from repro.analysis.tables import table4
+
+
+@pytest.mark.parametrize(
+    "scenario", ["485t_single", "690t_single", "485t_multi", "690t_multi"]
+)
+def test_table4(benchmark, record_artifact, scenario):
+    result = benchmark.pedantic(
+        table4, args=(scenario,), rounds=1, iterations=1
+    )
+    record_artifact(f"table4_{scenario}", result.format())
+    if scenario.endswith("single"):
+        assert result.overall_cycles_k == pytest.approx(
+            result.paper_overall_cycles_k, rel=0.01
+        )
+        assert len(result.rows) == 1
+    else:
+        assert result.overall_cycles_k <= result.paper_overall_cycles_k
+        # The paper limits SqueezeNet Multi-CLPs to six; so do we.
+        assert 2 <= len(result.rows) <= 6

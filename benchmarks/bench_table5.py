@@ -1,0 +1,30 @@
+"""Table 5: SqueezeNet fixed16 resources and throughput at 170 MHz.
+
+Bands: DSP within 3% of the paper; throughput within 5%; the paper's
+headline 1.91x / 2.33x Multi-over-Single speedups hold within a band;
+bandwidth magnitudes land in the paper's 15-30 GB/s regime.
+"""
+
+import pytest
+
+from repro.analysis.tables import table5
+
+
+def test_table5(benchmark, record_artifact):
+    result = benchmark.pedantic(table5, rounds=1, iterations=1)
+    record_artifact("table5", result.format())
+    by_scenario = {row.scenario: row for row in result.rows}
+    for row in result.rows:
+        assert row.dsp == pytest.approx(row.paper.dsp, rel=0.03), row.scenario
+        assert row.throughput == pytest.approx(row.paper.throughput, rel=0.05)
+        assert 10.0 <= row.bandwidth_gbps <= 32.0
+    speedup_485 = (
+        by_scenario["485t M-CLP"].throughput
+        / by_scenario["485t S-CLP"].throughput
+    )
+    speedup_690 = (
+        by_scenario["690t M-CLP"].throughput
+        / by_scenario["690t S-CLP"].throughput
+    )
+    assert 1.8 <= speedup_485 <= 2.1  # paper: 1.91x
+    assert 2.2 <= speedup_690 <= 2.5  # paper: 2.33x

@@ -1,0 +1,30 @@
+"""Table 6: AlexNet float, analytic model vs (virtual) implementation.
+
+Bands: the model columns reproduce the paper's model columns exactly
+for the Single-CLP reference design; implementation estimates exceed
+the model everywhere, with DSP overheads in the paper's 45-120 range
+per CLP.
+"""
+
+import pytest
+
+from repro.analysis.tables import table6
+
+
+@pytest.mark.parametrize("scenario", ["485t_single", "485t_multi", "690t_multi"])
+def test_table6(benchmark, record_artifact, scenario):
+    result = benchmark.pedantic(
+        table6, args=(scenario,), rounds=1, iterations=1
+    )
+    record_artifact(f"table6_{scenario}", result.format())
+    impl = result.implementation
+    for clp in impl.clps:
+        assert clp.dsp_impl > clp.dsp_model
+        assert clp.bram_impl >= clp.bram_model
+        assert 45 <= clp.dsp_overhead <= 120
+    if scenario == "485t_single":
+        paper = result.paper_rows[0]
+        assert impl.clps[0].dsp_model == paper.dsp_model == 2240
+        assert impl.clps[0].bram_model == paper.bram_model == 618
+        assert impl.clps[0].dsp_impl == pytest.approx(paper.dsp_impl, rel=0.03)
+        assert impl.clps[0].bram_impl == pytest.approx(paper.bram_impl, rel=0.10)

@@ -1,0 +1,24 @@
+"""Table 7: SqueezeNet fixed16, model vs (virtual) implementation.
+
+Bands: implementation exceeds the model per CLP; fixed-point BRAM
+inflation lands in the paper's ~1.3-2.1x range; total implementation
+DSPs stay within 25% of the paper's total (different partitions, same
+scale).
+"""
+
+import pytest
+
+from repro.analysis.tables import table7
+
+
+def test_table7(benchmark, record_artifact):
+    result = benchmark.pedantic(table7, rounds=1, iterations=1)
+    record_artifact("table7_690t_multi", result.format())
+    impl = result.implementation
+    for clp in impl.clps:
+        assert clp.dsp_impl > clp.dsp_model
+        if clp.bram_model > 0:
+            inflation = clp.bram_impl / clp.bram_model
+            assert 1.2 <= inflation <= 2.2
+    paper_total_dsp = sum(p.dsp_impl for p in result.paper_rows)
+    assert impl.dsp_impl == pytest.approx(paper_total_dsp, rel=0.25)

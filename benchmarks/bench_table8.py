@@ -1,0 +1,23 @@
+"""Table 8: AlexNet float full-FPGA resources and power.
+
+Bands: the virtual toolflow's FF/LUT/power estimates land within 15% of
+the paper's Vivado numbers for all three designs (it was calibrated on
+the Single-CLP; the Multi-CLP rows validate the per-CLP terms).
+"""
+
+import pytest
+
+from repro.analysis.tables import table8
+
+
+def test_table8(benchmark, record_artifact):
+    result = benchmark.pedantic(table8, rounds=1, iterations=1)
+    record_artifact("table8", result.format())
+    for scenario, impl, paper in zip(
+        result.scenarios, result.implementations, result.paper_rows
+    ):
+        assert paper is not None
+        assert impl.dsp_impl == pytest.approx(paper.dsp, rel=0.05), scenario
+        assert impl.flip_flops == pytest.approx(paper.flip_flops, rel=0.15)
+        assert impl.luts == pytest.approx(paper.luts, rel=0.15)
+        assert impl.power_watts == pytest.approx(paper.power_watts, rel=0.20)

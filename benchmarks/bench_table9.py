@@ -1,0 +1,22 @@
+"""Table 9: SqueezeNet fixed16 full-FPGA resources and power.
+
+Bands: DSP within 10%, power within 25%, and FF/LUT within 35% of the
+paper's Vivado numbers (our fixed-point partition differs from the
+paper's, so per-design logic varies more than for AlexNet).
+"""
+
+import pytest
+
+from repro.analysis.tables import table9
+
+
+def test_table9(benchmark, record_artifact):
+    result = benchmark.pedantic(table9, rounds=1, iterations=1)
+    record_artifact("table9", result.format())
+    impl = result.implementations[0]
+    paper = result.paper_rows[0]
+    assert paper is not None
+    assert impl.dsp_impl == pytest.approx(paper.dsp, rel=0.10)
+    assert impl.flip_flops == pytest.approx(paper.flip_flops, rel=0.35)
+    assert impl.luts == pytest.approx(paper.luts, rel=0.35)
+    assert impl.power_watts == pytest.approx(paper.power_watts, rel=0.25)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Explore the BRAM-vs-bandwidth tradeoff of a Multi-CLP design (Fig. 6).
+
+Larger on-chip buffers cut weight re-fetching and therefore off-chip
+traffic; the optimizer exposes the whole Pareto frontier so a deployment
+can pick its operating point from the board's actual DRAM headroom.
+
+Run:  python examples/bandwidth_tradeoff.py
+"""
+
+from repro import FLOAT32, budget_for, get_network
+from repro.analysis.figures import _partition_of
+from repro.analysis.report import ascii_plot, render_table
+from repro.opt import optimize_multi_clp
+from repro.opt.memory import system_tradeoff_curve
+
+
+def main() -> None:
+    network = get_network("alexnet")
+    frequency_mhz = 100.0
+    for part in ("485t", "690t"):
+        budget = budget_for(part)
+        design = optimize_multi_clp(network, budget, FLOAT32)
+        curve = system_tradeoff_curve(
+            _partition_of(design), FLOAT32, cycle_target=design.epoch_cycles
+        )
+        points = [
+            (bram, bpc * frequency_mhz * 1e6 / 1e9) for bram, bpc in curve
+        ]
+        in_budget = [p for p in points if p[0] <= budget.bram18k]
+        print(render_table(
+            ["BRAM-18K", "bandwidth GB/s"],
+            [(bram, f"{gbps:.2f}") for bram, gbps in in_budget[:12]],
+            title=f"AlexNet float Multi-CLP on {part} "
+                  f"(budget {budget.bram18k} BRAM)",
+        ))
+        print()
+        print(ascii_plot(in_budget, x_label="BRAM-18K", y_label="GB/s"))
+        print()
+        # Two useful endpoints, as the paper highlights with A/B and C/D.
+        cheapest = min(in_budget, key=lambda p: p[0])
+        leanest = min(in_budget, key=lambda p: p[1])
+        print(f"  iso-BRAM point:      {cheapest[0]} BRAM at "
+              f"{cheapest[1]:.2f} GB/s")
+        print(f"  iso-bandwidth point: {leanest[0]} BRAM at "
+              f"{leanest[1]:.2f} GB/s")
+        print()
+
+
+if __name__ == "__main__":
+    main()

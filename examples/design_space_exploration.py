@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Design-space exploration across networks, devices, and datatypes.
+
+Sweeps the full evaluation grid of the paper's Table 1 plus a CLP-count
+sweep, printing which partitionings win where — the workflow a deployment
+engineer would use to size an accelerator for a new model/board pair.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro import FIXED16, FLOAT32, budget_for, get_network
+from repro.analysis.report import render_table
+from repro.opt import optimize_multi_clp, optimize_single_clp
+
+
+def sweep_networks() -> None:
+    rows = []
+    for network_name in ("alexnet", "squeezenet", "googlenet"):
+        network = get_network(network_name)
+        for part in ("485t", "690t"):
+            for dtype in (FLOAT32, FIXED16):
+                budget = budget_for(part)
+                single = optimize_single_clp(network, budget, dtype)
+                multi = optimize_multi_clp(network, budget, dtype)
+                rows.append(
+                    (
+                        network_name,
+                        part,
+                        dtype.label,
+                        multi.num_clps,
+                        f"{single.arithmetic_utilization:.0%}",
+                        f"{multi.arithmetic_utilization:.0%}",
+                        f"{single.epoch_cycles / multi.epoch_cycles:.2f}x",
+                    )
+                )
+    print(render_table(
+        ["network", "FPGA", "dtype", "CLPs", "S util", "M util", "speedup"],
+        rows,
+        title="Single- vs Multi-CLP across the design space",
+    ))
+
+
+def sweep_clp_count() -> None:
+    network = get_network("squeezenet")
+    budget = budget_for("690t", frequency_mhz=170.0)
+    rows = []
+    baseline = None
+    for max_clps in (1, 2, 3, 4, 6):
+        design = optimize_multi_clp(
+            network, budget, FIXED16, max_clps=max_clps,
+            ordering="compute-to-data",
+        )
+        baseline = baseline or design.epoch_cycles
+        rows.append(
+            (
+                max_clps,
+                design.num_clps,
+                design.epoch_cycles,
+                f"{baseline / design.epoch_cycles:.2f}x",
+                f"{design.arithmetic_utilization:.0%}",
+            )
+        )
+    print()
+    print(render_table(
+        ["max CLPs", "used", "epoch cycles", "speedup", "utilization"],
+        rows,
+        title="SqueezeNet fixed16 on 690T: diminishing returns in CLP count",
+    ))
+
+
+if __name__ == "__main__":
+    sweep_networks()
+    sweep_clp_count()

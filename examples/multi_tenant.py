@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Joint optimization: one accelerator serving two CNNs (Section 4.3).
+
+A datacenter card often hosts several models.  The paper notes its
+optimization "can be simultaneously applied to multiple target CNNs to
+jointly optimize their performance": pooling the layers lets similar
+layers from different networks share a specialized CLP.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro import FIXED16, budget_for, get_network
+from repro.analysis.report import render_table
+from repro.opt import optimize_joint, optimize_multi_clp
+
+
+def main() -> None:
+    alexnet = get_network("alexnet")
+    squeezenet = get_network("squeezenet")
+    budget = budget_for("690t", frequency_mhz=170.0)
+
+    joint = optimize_joint([alexnet, squeezenet], budget, FIXED16)
+    print(joint.describe())
+    print()
+
+    # Compare against time-multiplexing two dedicated designs: each
+    # network gets the full chip but only half the wall-clock.
+    rows = []
+    dedicated = {}
+    for network in (alexnet, squeezenet):
+        design = optimize_multi_clp(network, budget, FIXED16)
+        dedicated[network.name] = design
+    joint_rates = joint.throughput_per_network(170.0)
+    for network in (alexnet, squeezenet):
+        ded = dedicated[network.name]
+        time_mux_rate = ded.throughput(170.0) / 2  # half the time slice
+        rows.append(
+            (
+                network.name,
+                f"{joint_rates[network.name]:.0f}",
+                f"{time_mux_rate:.0f}",
+                f"{joint_rates[network.name] / time_mux_rate:.2f}x",
+            )
+        )
+    print(render_table(
+        ["network", "joint img/s", "time-mux img/s", "joint advantage"],
+        rows,
+        title="Joint accelerator vs 50/50 time multiplexing @170MHz",
+    ))
+    print()
+    for network in (alexnet, squeezenet):
+        shared = joint.clps_serving(network.name)
+        print(f"{network.name} layers run on CLPs {shared}")
+
+
+if __name__ == "__main__":
+    main()

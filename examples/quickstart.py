@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Quickstart: optimize a Multi-CLP accelerator for AlexNet.
+
+Reproduces the paper's headline AlexNet comparison on a Virtex-7 485T
+with 32-bit floating point at 100 MHz: a Single-CLP baseline (the Zhang
+FPGA'15 state of the art) versus the Multi-CLP partitioning.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FLOAT32, budget_for, get_network
+from repro.opt import optimize_multi_clp, optimize_single_clp
+
+
+def main() -> None:
+    network = get_network("alexnet")
+    budget = budget_for("485t")  # 80% of the chip: 2,240 DSP / 1,648 BRAM
+
+    print(f"Optimizing {network.name} "
+          f"({network.total_macs / 1e6:.0f} MMACs per image)\n")
+
+    single = optimize_single_clp(network, budget, FLOAT32)
+    multi = optimize_multi_clp(network, budget, FLOAT32)
+
+    for label, design in (("Single-CLP", single), ("Multi-CLP", multi)):
+        print(f"=== {label} ===")
+        print(design.describe())
+        print(f"  throughput @100MHz: {design.throughput(100.0):.1f} images/s")
+        print(f"  required bandwidth: "
+              f"{design.required_bandwidth_gbps(100.0):.2f} GB/s")
+        print()
+
+    speedup = single.epoch_cycles / multi.epoch_cycles
+    print(f"Multi-CLP speedup: {speedup:.2f}x "
+          f"(utilization {single.arithmetic_utilization:.1%} -> "
+          f"{multi.arithmetic_utilization:.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Multi-CLP CNN accelerator resource partitioning (ISCA 2017 reproduction).
+
+Public API quickstart::
+
+    from repro import networks, fpga, optimize_multi_clp, FLOAT32
+
+    net = networks.alexnet()
+    budget = fpga.budget_for("485t")
+    design = optimize_multi_clp(net, budget, FLOAT32)
+    print(design.describe())
+"""
+
+from .core import (
+    FIXED16,
+    FLOAT32,
+    INT8,
+    CLPConfig,
+    ConvLayer,
+    DataType,
+    DesignMetrics,
+    MultiCLPDesign,
+    Network,
+    build_schedule,
+    layer_cycles,
+    utilization_report,
+)
+from .fpga import FpgaPart, ResourceBudget, budget_for, get_part
+from .networks import available_networks, get_network
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvLayer",
+    "Network",
+    "DataType",
+    "FLOAT32",
+    "FIXED16",
+    "INT8",
+    "CLPConfig",
+    "MultiCLPDesign",
+    "DesignMetrics",
+    "layer_cycles",
+    "utilization_report",
+    "build_schedule",
+    "FpgaPart",
+    "ResourceBudget",
+    "budget_for",
+    "get_part",
+    "get_network",
+    "available_networks",
+    "optimize_multi_clp",
+    "optimize_single_clp",
+    "__version__",
+]
+
+
+def __getattr__(name):
+    # Deferred imports keep `import repro` cheap and avoid import cycles.
+    if name in ("optimize_multi_clp", "optimize_single_clp"):
+        from .opt import optimize_multi_clp, optimize_single_clp
+
+        return {
+            "optimize_multi_clp": optimize_multi_clp,
+            "optimize_single_clp": optimize_single_clp,
+        }[name]
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

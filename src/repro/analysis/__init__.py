@@ -1,0 +1,52 @@
+"""Experiment harness: paper reference data, tables, and figures."""
+
+from . import paper_data
+from .figures import Figure7Result, TradeoffCurve, figure6, figure7
+from .report import ascii_plot, format_ratio, render_table
+from .roofline import RooflinePoint, roofline_point, roofline_table
+from .visualize import (
+    compare_single_vs_multi,
+    partition_summary,
+    schedule_gantt,
+    utilization_bars,
+)
+from .tables import (
+    design_for,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+)
+
+__all__ = [
+    "paper_data",
+    "design_for",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "figure6",
+    "figure7",
+    "TradeoffCurve",
+    "Figure7Result",
+    "render_table",
+    "format_ratio",
+    "ascii_plot",
+    "schedule_gantt",
+    "utilization_bars",
+    "partition_summary",
+    "compare_single_vs_multi",
+    "RooflinePoint",
+    "roofline_point",
+    "roofline_table",
+]

@@ -1,0 +1,180 @@
+"""Regeneration of the paper's evaluation figures (Section 6).
+
+* Figure 6: BRAM capacity vs off-chip bandwidth tradeoff for the AlexNet
+  float Multi-CLP designs on both FPGAs.
+* Figure 7: throughput of Single- vs Multi-CLP AlexNet float designs as
+  the DSP budget scales from 100 to 10,000 slices (BRAM budget at one
+  BRAM per 1.3 DSP slices, as the paper observes on Virtex-7 parts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.datatypes import FLOAT32, DataType
+from ..core.design import MultiCLPDesign
+from ..fpga.parts import ResourceBudget
+from ..networks import get_network
+from ..opt import OptimizationError, optimize_multi_clp, optimize_single_clp
+from ..opt.compute import CLPCandidate, PartitionCandidate
+from ..opt.memory import system_tradeoff_curve
+from .report import ascii_plot, render_table
+from .tables import design_for
+
+__all__ = [
+    "TradeoffCurve",
+    "figure6",
+    "ScalingPoint",
+    "Figure7Result",
+    "figure7",
+    "DEFAULT_DSP_SWEEP",
+]
+
+#: Paper-observed BRAM:DSP capacity ratio used for Figure 7 budgets.
+BRAM_PER_DSP = 1 / 1.3
+
+#: DSP budgets swept in Figure 7 (100 to 10,000); includes the four
+#: devices marked with dashed lines in the paper.
+DEFAULT_DSP_SWEEP: Tuple[int, ...] = (
+    100, 250, 500, 750, 1000, 1500, 2240, 2880, 3600, 4500,
+    5472, 6000, 7000, 8000, 9216, 10000,
+)
+
+
+@dataclass(frozen=True)
+class TradeoffCurve:
+    """One Figure 6 curve: (BRAM, GB/s) frontier of a design."""
+
+    label: str
+    points: Tuple[Tuple[int, float], ...]
+
+    def bandwidth_at(self, bram_budget: int) -> Optional[float]:
+        """Least bandwidth achievable within a BRAM budget."""
+        feasible = [bw for bram, bw in self.points if bram <= bram_budget]
+        return min(feasible) if feasible else None
+
+    def format(self) -> str:
+        plot = ascii_plot(
+            self.points, x_label="BRAM-18K", y_label="GB/s", marker="*"
+        )
+        return f"Figure 6 curve [{self.label}]\n{plot}"
+
+
+def _partition_of(design: MultiCLPDesign) -> PartitionCandidate:
+    return PartitionCandidate(
+        clps=tuple(
+            CLPCandidate(
+                tn=clp.tn,
+                tm=clp.tm,
+                layers=clp.layers,
+                cycles=clp.total_cycles,
+                dsp=clp.dsp,
+            )
+            for clp in design.clps
+        )
+    )
+
+
+def figure6(
+    parts: Sequence[str] = ("485t", "690t"),
+    frequency_mhz: float = 100.0,
+    slack: float = 0.02,
+) -> List[TradeoffCurve]:
+    """BRAM vs bandwidth tradeoff curves for AlexNet float Multi-CLPs."""
+    curves: List[TradeoffCurve] = []
+    for part in parts:
+        design = design_for("alexnet", part, "float32", single=False)
+        raw = system_tradeoff_curve(
+            _partition_of(design),
+            FLOAT32,
+            cycle_target=design.epoch_cycles,
+            slack=slack,
+        )
+        points = tuple(
+            (bram, bytes_per_cycle * frequency_mhz * 1e6 / 1e9)
+            for bram, bytes_per_cycle in raw
+        )
+        curves.append(TradeoffCurve(label=f"Multi-CLP, {part}", points=points))
+    return curves
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One x-position of Figure 7."""
+
+    dsp: int
+    single_throughput: Optional[float]
+    multi_throughput: Optional[float]
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if not self.single_throughput or not self.multi_throughput:
+            return None
+        return self.multi_throughput / self.single_throughput
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    points: Tuple[ScalingPoint, ...]
+
+    def format(self) -> str:
+        rows = [
+            (
+                p.dsp,
+                f"{p.single_throughput:.1f}" if p.single_throughput else "-",
+                f"{p.multi_throughput:.1f}" if p.multi_throughput else "-",
+                f"{p.speedup:.2f}x" if p.speedup else "-",
+            )
+            for p in self.points
+        ]
+        table = render_table(
+            ["DSP slices", "Single img/s", "Multi img/s", "speedup"],
+            rows,
+            title="Figure 7: AlexNet float throughput vs DSP budget @100MHz",
+        )
+        plot_points = [
+            (p.dsp, p.multi_throughput)
+            for p in self.points
+            if p.multi_throughput
+        ]
+        return table + "\n" + ascii_plot(
+            plot_points, x_label="DSP slices", y_label="Multi img/s"
+        )
+
+
+def figure7(
+    dsp_sweep: Sequence[int] = DEFAULT_DSP_SWEEP,
+    network_name: str = "alexnet",
+    dtype: DataType = FLOAT32,
+    frequency_mhz: float = 100.0,
+    max_clps: int = 6,
+) -> Figure7Result:
+    """Throughput scaling of Single- vs Multi-CLP with the DSP budget."""
+    network = get_network(network_name)
+    points: List[ScalingPoint] = []
+    for dsp in dsp_sweep:
+        budget = ResourceBudget(
+            dsp=dsp,
+            bram18k=max(16, int(dsp * BRAM_PER_DSP)),
+            frequency_mhz=frequency_mhz,
+        )
+        throughputs: Dict[str, Optional[float]] = {}
+        for kind, optimize in (
+            ("single", optimize_single_clp),
+            ("multi", optimize_multi_clp),
+        ):
+            try:
+                kwargs = {} if kind == "single" else {"max_clps": max_clps}
+                design = optimize(network, budget, dtype, **kwargs)
+                throughputs[kind] = design.throughput(frequency_mhz)
+            except OptimizationError:
+                throughputs[kind] = None
+        points.append(
+            ScalingPoint(
+                dsp=dsp,
+                single_throughput=throughputs["single"],
+                multi_throughput=throughputs["multi"],
+            )
+        )
+    return Figure7Result(points=tuple(points))

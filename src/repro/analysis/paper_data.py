@@ -1,0 +1,265 @@
+"""Reference numbers published in the paper (ISCA 2017 / arXiv v2).
+
+Every table and figure of the evaluation section is transcribed here so
+the benchmark harness can print paper-vs-reproduction comparisons.  All
+cycle counts are in thousands of cycles, utilizations are fractions,
+bandwidths in GB/s, throughputs in images/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "TABLE1_UTILIZATION",
+    "TABLE2_CONFIGS",
+    "TABLE3_RESOURCES",
+    "TABLE4_CONFIGS",
+    "TABLE5_RESOURCES",
+    "TABLE6_MODEL_VS_IMPL",
+    "TABLE7_MODEL_VS_IMPL",
+    "TABLE8_RESOURCES",
+    "TABLE9_RESOURCES",
+    "FIGURE6_POINTS",
+    "FIGURE7_TRENDS",
+    "HEADLINE_SPEEDUPS",
+    "SECTION32_UTILIZATION",
+]
+
+# ----------------------------------------------------------------- Table 1
+# Dynamic arithmetic-unit utilization; key: (fpga, dtype, network) ->
+# (single_clp, multi_clp).
+TABLE1_UTILIZATION: Dict[Tuple[str, str, str], Tuple[float, float]] = {
+    ("485t", "float32", "alexnet"): (0.741, 0.954),
+    ("485t", "float32", "vggnet-e"): (0.968, 0.975),
+    ("485t", "float32", "squeezenet"): (0.780, 0.958),
+    ("485t", "float32", "googlenet"): (0.819, 0.969),
+    ("690t", "float32", "alexnet"): (0.654, 0.990),
+    ("690t", "float32", "vggnet-e"): (0.960, 0.987),
+    ("690t", "float32", "squeezenet"): (0.764, 0.967),
+    ("690t", "float32", "googlenet"): (0.781, 0.960),
+    ("485t", "fixed16", "alexnet"): (0.310, 0.939),
+    ("485t", "fixed16", "vggnet-e"): (0.897, 0.973),
+    ("485t", "fixed16", "squeezenet"): (0.511, 0.936),
+    ("485t", "fixed16", "googlenet"): (0.502, 0.938),
+    ("690t", "fixed16", "alexnet"): (0.237, 0.906),
+    ("690t", "fixed16", "vggnet-e"): (0.883, 0.961),
+    ("690t", "fixed16", "squeezenet"): (0.420, 0.931),
+    ("690t", "fixed16", "googlenet"): (0.440, 0.893),
+}
+
+
+# ----------------------------------------------------------------- Table 2
+@dataclass(frozen=True)
+class PaperClpConfig:
+    """One CLP row of Table 2 or Table 4."""
+
+    tn: int
+    tm: int
+    layers: Tuple[str, ...]
+    cycles_k: int  # thousands of cycles for the listed layers
+
+
+# AlexNet, 32-bit float; layer names use our conv{stage}{half} naming.
+TABLE2_CONFIGS: Dict[str, List[PaperClpConfig]] = {
+    "485t_single": [
+        PaperClpConfig(7, 64, ("conv1a", "conv1b"), 732),
+        PaperClpConfig(7, 64, ("conv2a", "conv2b"), 510),
+        PaperClpConfig(7, 64, ("conv3a", "conv3b"), 338),
+        PaperClpConfig(7, 64, ("conv4a", "conv4b"), 256),
+        PaperClpConfig(7, 64, ("conv5a", "conv5b"), 170),
+    ],
+    "690t_single": [
+        PaperClpConfig(9, 64, ("conv1a", "conv1b"), 732),
+        PaperClpConfig(9, 64, ("conv2a", "conv2b"), 437),
+        PaperClpConfig(9, 64, ("conv3a", "conv3b"), 265),
+        PaperClpConfig(9, 64, ("conv4a", "conv4b"), 201),
+        PaperClpConfig(9, 64, ("conv5a", "conv5b"), 134),
+    ],
+    "485t_multi": [
+        PaperClpConfig(2, 64, ("conv5a", "conv5b", "conv4a", "conv4b"), 1460),
+        PaperClpConfig(1, 96, ("conv3a", "conv3b"), 1558),
+        PaperClpConfig(3, 24, ("conv1a", "conv1b"), 1464),
+        PaperClpConfig(8, 19, ("conv2a", "conv2b"), 1531),
+    ],
+    "690t_multi": [
+        PaperClpConfig(1, 64, ("conv5a", "conv5b"), 1168),
+        PaperClpConfig(1, 96, ("conv4a", "conv4b"), 1168),
+        PaperClpConfig(2, 64, ("conv3a", "conv3b"), 1168),
+        PaperClpConfig(1, 48, ("conv1a",), 1098),
+        PaperClpConfig(1, 48, ("conv1b",), 1098),
+        PaperClpConfig(3, 64, ("conv2a", "conv2b"), 1166),
+    ],
+}
+
+TABLE2_OVERALL_CYCLES_K = {
+    "485t_single": 2006,
+    "690t_single": 1769,
+    "485t_multi": 1558,
+    "690t_multi": 1168,
+}
+
+
+# ----------------------------------------------------------------- Table 3
+@dataclass(frozen=True)
+class PaperResourceRow:
+    """One row of Table 3 or Table 5."""
+
+    bram: int
+    dsp: int
+    bandwidth_gbps: float
+    utilization: float
+    throughput: float
+    gops: float
+
+
+TABLE3_RESOURCES: Dict[Tuple[str, str], PaperResourceRow] = {
+    ("485t", "single"): PaperResourceRow(618, 2240, 1.40, 0.726, 48.85, 65.05),
+    ("485t", "multi"): PaperResourceRow(731, 2240, 1.38, 0.951, 63.98, 85.20),
+    ("690t", "single"): PaperResourceRow(758, 2880, 1.78, 0.640, 55.40, 73.77),
+    ("690t", "multi"): PaperResourceRow(1238, 2880, 1.49, 0.989, 85.55, 113.92),
+}
+
+
+# ----------------------------------------------------------------- Table 4
+# SqueezeNet, 16-bit fixed; the paper numbers layers 1-26 in network
+# order, so we record only grid sizes and cycle counts.
+TABLE4_CONFIGS: Dict[str, List[PaperClpConfig]] = {
+    "485t_single": [PaperClpConfig(32, 68, (), 349)],
+    "690t_single": [PaperClpConfig(32, 87, (), 331)],
+    "485t_multi": [
+        PaperClpConfig(6, 16, (), 179),
+        PaperClpConfig(3, 64, (), 183),
+        PaperClpConfig(4, 64, (), 165),
+        PaperClpConfig(8, 64, (), 176),
+        PaperClpConfig(8, 128, (), 185),
+        PaperClpConfig(16, 10, (), 183),
+    ],
+    "690t_multi": [
+        PaperClpConfig(8, 16, (), 125),
+        PaperClpConfig(3, 64, (), 115),
+        PaperClpConfig(11, 32, (), 133),
+        PaperClpConfig(8, 64, (), 145),
+        PaperClpConfig(5, 256, (), 144),
+        PaperClpConfig(16, 26, (), 141),
+    ],
+}
+
+TABLE4_OVERALL_CYCLES_K = {
+    "485t_single": 349,
+    "690t_single": 331,
+    "485t_multi": 185,
+    "690t_multi": 145,
+}
+
+
+# ----------------------------------------------------------------- Table 5
+TABLE5_RESOURCES: Dict[Tuple[str, str], PaperResourceRow] = {
+    ("485t", "single"): PaperResourceRow(400, 2176, 19.7, 0.503, 480.0, 372.2),
+    ("485t", "multi"): PaperResourceRow(492, 2240, 15.3, 0.930, 913.4, 708.3),
+    ("690t", "single"): PaperResourceRow(480, 2784, 20.5, 0.413, 504.1, 391.0),
+    ("690t", "multi"): PaperResourceRow(635, 2880, 19.5, 0.929, 1173.0, 909.7),
+}
+
+
+# ------------------------------------------------------------- Tables 6-7
+@dataclass(frozen=True)
+class PaperModelVsImpl:
+    """One CLP row of Table 6 or 7: model and implemented resources."""
+
+    bram_model: int
+    bram_impl: int
+    dsp_model: int
+    dsp_impl: int
+
+
+TABLE6_MODEL_VS_IMPL: Dict[str, List[PaperModelVsImpl]] = {
+    "485t_single": [PaperModelVsImpl(618, 698, 2240, 2309)],
+    "485t_multi": [
+        PaperModelVsImpl(130, 132, 640, 689),
+        PaperModelVsImpl(193, 195, 480, 529),
+        PaperModelVsImpl(186, 242, 360, 410),
+        PaperModelVsImpl(222, 243, 760, 815),
+    ],
+    "690t_multi": [
+        PaperModelVsImpl(129, 131, 320, 369),
+        PaperModelVsImpl(193, 195, 480, 529),
+        PaperModelVsImpl(130, 132, 640, 689),
+        PaperModelVsImpl(166, 226, 240, 290),
+        PaperModelVsImpl(160, 162, 240, 290),
+        PaperModelVsImpl(460, 590, 960, 1010),
+    ],
+}
+
+TABLE7_MODEL_VS_IMPL: Dict[str, List[PaperModelVsImpl]] = {
+    "690t_multi": [
+        PaperModelVsImpl(24, 42, 128, 227),
+        PaperModelVsImpl(152, 218, 192, 264),
+        PaperModelVsImpl(44, 78, 352, 508),
+        PaperModelVsImpl(72, 138, 512, 592),
+        PaperModelVsImpl(259, 520, 1280, 1416),
+        PaperModelVsImpl(84, 112, 416, 478),
+    ],
+}
+
+
+# ------------------------------------------------------------- Tables 8-9
+@dataclass(frozen=True)
+class PaperImplRow:
+    """One column of Table 8/9: full-design implementation resources."""
+
+    bram: int
+    dsp: int
+    flip_flops: int
+    luts: int
+    power_watts: float
+
+
+TABLE8_RESOURCES: Dict[str, PaperImplRow] = {
+    "485t_single": PaperImplRow(698, 2309, 219815, 146325, 6.6),
+    "485t_multi": PaperImplRow(812, 2443, 270991, 176876, 7.6),
+    "690t_multi": PaperImplRow(1436, 3177, 348049, 236877, 10.2),
+}
+
+TABLE9_RESOURCES: Dict[str, PaperImplRow] = {
+    "690t_multi": PaperImplRow(1108, 3494, 161411, 133854, 7.2),
+}
+
+
+# ---------------------------------------------------------------- Figure 6
+# Named points on the BRAM/bandwidth tradeoff curves (AlexNet float).
+FIGURE6_POINTS: Dict[str, Tuple[int, float]] = {
+    "A (485t iso-bandwidth)": (731, 1.38),
+    "B (485t iso-bram)": (619, 1.46),
+    "C (690t iso-bandwidth)": (1238, 1.49),
+    "D (690t iso-bram)": (1075, 2.44),
+}
+
+
+# ---------------------------------------------------------------- Figure 7
+# Qualitative trend: Multi/Single throughput ratio vs DSP budget.
+FIGURE7_TRENDS: Dict[int, float] = {
+    2240: 1.3,
+    9600: 3.3,
+}
+
+
+# ------------------------------------------------------------- headline
+# Multi-CLP over Single-CLP throughput, best-case per network (Abstract,
+# Sections 1 and 6.2). AlexNet is on the 690T with fixed16.
+HEADLINE_SPEEDUPS: Dict[str, float] = {
+    "alexnet": 3.8,
+    "squeezenet": 2.2,
+    "googlenet": 2.0,
+    "vggnet-e": 1.01,
+}
+
+# Section 3.2 motivating example: SqueezeNet float on the 690T
+# Single-CLP (Tn=9, Tm=64).
+SECTION32_UTILIZATION = {
+    "grid": (9, 64),
+    "layer1": 0.333,
+    "layer2": 0.222,
+    "overall": 0.764,
+}

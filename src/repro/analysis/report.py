@@ -1,0 +1,72 @@
+"""Plain-text rendering helpers for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "format_ratio", "ascii_plot"]
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width table: headers, a rule, then the rows."""
+    str_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_ratio(ours: float, paper: float) -> str:
+    """'ours (paper, ratio)' comparison cell."""
+    if paper == 0:
+        return f"{ours:.2f} (paper 0)"
+    return f"{ours:.2f} vs {paper:.2f} ({ours / paper:.2f}x)"
+
+
+def ascii_plot(
+    points: Sequence[tuple],
+    width: int = 68,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    marker: str = "*",
+) -> str:
+    """Minimal scatter plot for terminal benchmark output."""
+    if not points:
+        return "(no points)"
+    xs = [float(p[0]) for p in points]
+    ys = [float(p[1]) for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = marker
+    lines = [f"{y_label} ({y_lo:.2f} .. {y_hi:.2f})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label} ({x_lo:.0f} .. {x_hi:.0f})")
+    return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""ASCII visualizations of designs and schedules.
+
+Terminal renderings of the paper's illustrative figures:
+
+* :func:`schedule_gantt` — Figure 5: per-CLP layer timelines within one
+  epoch, idle tails marked.
+* :func:`utilization_bars` — Section 3.2: per-layer arithmetic-unit
+  utilization of a CLP grid.
+* :func:`partition_summary` — Figure 1's message: how the partitioned
+  grids line up with layer dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.design import MultiCLPDesign
+from ..core.network import Network
+from ..core.utilization import UtilizationReport, utilization_report
+
+__all__ = ["schedule_gantt", "utilization_bars", "partition_summary"]
+
+
+def schedule_gantt(design: MultiCLPDesign, width: int = 72) -> str:
+    """One epoch of the design as a Figure 5-style Gantt chart.
+
+    Each CLP is one row; layer segments are scaled to their cycle
+    counts, and the end-of-epoch idle gap is drawn with dots.
+    """
+    if width < 20:
+        raise ValueError("width must be at least 20 columns")
+    epoch = design.epoch_cycles
+    label_width = max(len(f"CLP{i}") for i in range(design.num_clps)) + 1
+    lines = [
+        f"epoch = {epoch} cycles "
+        f"({design.arithmetic_utilization:.1%} arithmetic utilization)"
+    ]
+    for index, clp in enumerate(design.clps):
+        bar: List[str] = []
+        consumed_cols = 0
+        consumed_cycles = 0
+        for position, layer in enumerate(clp.layers):
+            cycles = clp.cycles_for(layer)
+            consumed_cycles += cycles
+            target_cols = round(consumed_cycles / epoch * width)
+            span = max(1, target_cols - consumed_cols)
+            marker = chr(ord("A") + position % 26)
+            bar.append(marker * span)
+            consumed_cols += span
+        idle_cols = max(0, width - consumed_cols)
+        bar.append("." * idle_cols)
+        legend = ", ".join(
+            f"{chr(ord('A') + i % 26)}={layer.name}"
+            for i, layer in enumerate(clp.layers)
+        )
+        lines.append(f"CLP{index}".ljust(label_width) + "|" + "".join(bar) + "|")
+        lines.append(" " * label_width + f"  {legend}")
+    return "\n".join(lines)
+
+
+def utilization_bars(
+    report: UtilizationReport, width: int = 40
+) -> str:
+    """Per-layer utilization of a CLP grid as horizontal bars."""
+    name_width = max(len(name) for name, _ in report.per_layer)
+    lines = [
+        f"{report.network_name} on CLP(Tn={report.tn}, Tm={report.tm}): "
+        f"overall {report.overall:.1%}"
+    ]
+    for name, value in report.per_layer:
+        filled = round(value * width)
+        bar = "#" * filled + "-" * (width - filled)
+        lines.append(f"{name.ljust(name_width)} |{bar}| {value:5.1%}")
+    return "\n".join(lines)
+
+
+def partition_summary(design: MultiCLPDesign) -> str:
+    """Figure 1's story in a table: grid sizes vs layer (N, M) shapes."""
+    lines = [
+        f"{design.network.name}: {design.num_clps} CLP(s), "
+        f"{design.total_units} MAC units total"
+    ]
+    for index, clp in enumerate(design.clps):
+        lines.append(
+            f"CLP{index} grid (Tn={clp.tn:>3}, Tm={clp.tm:>3}) "
+            f"= {clp.units} units"
+        )
+        for layer in clp.layers:
+            n_fit = "=" if layer.n % clp.tn == 0 else "~"
+            m_fit = "=" if layer.m % clp.tm == 0 else "~"
+            lines.append(
+                f"   {layer.name:<24} (N={layer.n:>4}{n_fit}, "
+                f"M={layer.m:>4}{m_fit})  "
+                f"util {clp.total_macs and layer.macs / (clp.cycles_for(layer) * clp.units):5.1%}"
+            )
+    return "\n".join(lines)
+
+
+def compare_single_vs_multi(
+    network: Network,
+    single: MultiCLPDesign,
+    multi: MultiCLPDesign,
+    width: int = 40,
+) -> str:
+    """Side-by-side utilization story of the two paradigms (Figure 1)."""
+    single_clp = single.clps[0]
+    report = utilization_report(network, single_clp.tn, single_clp.tm)
+    sections = [
+        "=== Single-CLP (state of the art) ===",
+        utilization_bars(report, width),
+        "",
+        "=== Multi-CLP (this paper) ===",
+        partition_summary(multi),
+        "",
+        f"speedup: {single.epoch_cycles / multi.epoch_cycles:.2f}x",
+    ]
+    return "\n".join(sections)

@@ -1,0 +1,285 @@
+"""Command-line interface: regenerate any paper experiment.
+
+Examples::
+
+    python -m repro table1                 # utilization comparison
+    python -m repro table2 --scenario 690t_multi
+    python -m repro fig7
+    python -m repro optimize --network googlenet --part 690t --dtype fixed16
+    python -m repro validate               # simulator vs model
+    python -m repro hls --network alexnet --part 485t
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.datatypes import DataType
+from .fpga.parts import budget_for
+from .networks import available_networks, get_network
+from .opt import optimize_multi_clp, optimize_single_clp
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="multiclp",
+        description="Multi-CLP CNN accelerator resource partitioning "
+        "(ISCA 2017 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for table in ("table1", "table3", "table5", "table8", "table9"):
+        sub.add_parser(table, help=f"regenerate {table}")
+    for table, default in (("table2", "485t_single"), ("table4", "485t_multi"),
+                           ("table6", "485t_single"), ("table7", "690t_multi")):
+        p = sub.add_parser(table, help=f"regenerate {table}")
+        p.add_argument("--scenario", default=default)
+    sub.add_parser("fig6", help="BRAM vs bandwidth tradeoff curves")
+    p7 = sub.add_parser("fig7", help="throughput vs DSP budget sweep")
+    p7.add_argument("--max-dsp", type=int, default=10000)
+
+    opt = sub.add_parser("optimize", help="optimize a custom scenario")
+    opt.add_argument("--network", default="alexnet", choices=available_networks())
+    opt.add_argument("--part", default="485t")
+    opt.add_argument("--dtype", default="float32")
+    opt.add_argument("--single", action="store_true")
+    opt.add_argument("--max-clps", type=int, default=6)
+    opt.add_argument("--bandwidth-gbps", type=float, default=None)
+    opt.add_argument("--frequency-mhz", type=float, default=100.0)
+    opt.add_argument("--ordering", default="auto")
+    opt.add_argument("--save", metavar="FILE", default=None,
+                     help="write the design to a JSON file")
+
+    gantt = sub.add_parser("gantt", help="epoch schedule of a design")
+    gantt.add_argument("--network", default="alexnet", choices=available_networks())
+    gantt.add_argument("--part", default="485t")
+    gantt.add_argument("--dtype", default="float32")
+    gantt.add_argument("--load", metavar="FILE", default=None,
+                       help="render a saved design instead of optimizing")
+
+    joint = sub.add_parser(
+        "joint", help="jointly optimize one accelerator for several CNNs"
+    )
+    joint.add_argument("networks", nargs="+", choices=available_networks())
+    joint.add_argument("--part", default="690t")
+    joint.add_argument("--dtype", default="fixed16")
+
+    latency = sub.add_parser(
+        "latency", help="latency/throughput frontier (adjacent assignment)"
+    )
+    latency.add_argument("--network", default="alexnet",
+                         choices=available_networks())
+    latency.add_argument("--part", default="485t")
+    latency.add_argument("--dtype", default="float32")
+    latency.add_argument("--max-clps", type=int, default=6)
+
+    sub.add_parser("validate", help="simulators vs analytic models")
+
+    hls = sub.add_parser("hls", help="emit HLS C++ for an optimized design")
+    hls.add_argument("--network", default="alexnet", choices=available_networks())
+    hls.add_argument("--part", default="485t")
+    hls.add_argument("--dtype", default="float32")
+    hls.add_argument("--single", action="store_true")
+
+    nets = sub.add_parser("networks", help="describe the network zoo")
+    nets.add_argument("--network", default=None)
+    return parser
+
+
+def _cmd_tables(args: argparse.Namespace) -> str:
+    from . import analysis
+
+    command = args.command
+    if command in ("table2", "table4", "table6", "table7"):
+        return getattr(analysis, command)(args.scenario).format()
+    return getattr(analysis, command)().format()
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    from .analysis import figure6, paper_data
+
+    curves = figure6()
+    blocks = [curve.format() for curve in curves]
+    blocks.append("Paper reference points (BRAM, GB/s):")
+    blocks.extend(
+        f"  {name}: {point}" for name, point in paper_data.FIGURE6_POINTS.items()
+    )
+    return "\n\n".join(blocks)
+
+
+def _cmd_fig7(args: argparse.Namespace) -> str:
+    from .analysis import figure7
+    from .analysis.figures import DEFAULT_DSP_SWEEP
+
+    sweep = tuple(d for d in DEFAULT_DSP_SWEEP if d <= args.max_dsp)
+    return figure7(dsp_sweep=sweep).format()
+
+
+def _cmd_optimize(args: argparse.Namespace) -> str:
+    network = get_network(args.network)
+    dtype = DataType.from_name(args.dtype)
+    budget = budget_for(
+        args.part,
+        bandwidth_gbps=args.bandwidth_gbps,
+        frequency_mhz=args.frequency_mhz,
+    )
+    if args.single:
+        design, report = optimize_single_clp(
+            network, budget, dtype, ordering=args.ordering, return_report=True
+        )
+    else:
+        design, report = optimize_multi_clp(
+            network, budget, dtype, max_clps=args.max_clps,
+            ordering=args.ordering, return_report=True,
+        )
+    lines = [design.describe()]
+    lines.append(
+        f"throughput @{budget.frequency_mhz:.0f}MHz: "
+        f"{design.throughput(budget.frequency_mhz):.1f} img/s"
+    )
+    lines.append(
+        f"required bandwidth: "
+        f"{design.required_bandwidth_gbps(budget.frequency_mhz):.2f} GB/s"
+    )
+    lines.append(
+        f"optimizer: target={report.target:.3f}, "
+        f"{report.iterations} iterations, "
+        f"{report.candidates_evaluated} candidates"
+    )
+    if args.save:
+        from .core.serialize import dump_design
+
+        dump_design(design, args.save)
+        lines.append(f"design written to {args.save}")
+    return "\n".join(lines)
+
+
+def _cmd_gantt(args: argparse.Namespace) -> str:
+    from .analysis.visualize import schedule_gantt
+
+    if args.load:
+        from .core.serialize import load_design
+
+        design = load_design(args.load)
+    else:
+        network = get_network(args.network)
+        dtype = DataType.from_name(args.dtype)
+        design = optimize_multi_clp(network, budget_for(args.part), dtype)
+    return schedule_gantt(design)
+
+
+def _cmd_joint(args: argparse.Namespace) -> str:
+    from .opt import optimize_joint
+
+    networks = [get_network(name) for name in args.networks]
+    dtype = DataType.from_name(args.dtype)
+    joint = optimize_joint(networks, budget_for(args.part), dtype)
+    lines = [joint.describe()]
+    for name, rate in joint.throughput_per_network(100.0).items():
+        lines.append(f"  {name}: {rate:.1f} img/s @100MHz")
+    return "\n".join(lines)
+
+
+def _cmd_latency(args: argparse.Namespace) -> str:
+    from .analysis.report import render_table
+    from .opt import latency_throughput_frontier
+
+    network = get_network(args.network)
+    dtype = DataType.from_name(args.dtype)
+    frontier = latency_throughput_frontier(
+        network, budget_for(args.part), dtype, max_clps=args.max_clps
+    )
+    rows = [
+        (cap, f"{latency / 1e6:.2f}M", f"{epoch / 1e3:.0f}k")
+        for cap, latency, epoch in frontier
+    ]
+    return render_table(
+        ["CLPs", "latency (cycles)", "epoch (cycles)"],
+        rows,
+        title=f"Latency/throughput frontier: {network.name} on {args.part}",
+    )
+
+
+def _cmd_validate(args: argparse.Namespace) -> str:
+    from .analysis.tables import design_for
+    from .sim import simulate_clp, simulate_system
+
+    lines = ["Simulator vs analytic model validation", ""]
+    design = design_for("alexnet", "485t", "float32", single=False)
+    sys_res = simulate_system(design)
+    lines.append(
+        f"AlexNet 485T Multi-CLP, unlimited bandwidth: "
+        f"sim epoch {sys_res.epoch_cycles:.0f} vs model "
+        f"{design.epoch_cycles} "
+        f"({sys_res.epoch_cycles / design.epoch_cycles:.4f}x)"
+    )
+    need = design.required_bandwidth_bytes_per_cycle()
+    capped = simulate_system(design, bytes_per_cycle=need * 1.2)
+    lines.append(
+        f"  at 1.2x modelled bandwidth: sim epoch {capped.epoch_cycles:.0f} "
+        f"({capped.epoch_cycles / design.epoch_cycles:.4f}x of model)"
+    )
+    for clp_index, clp in enumerate(design.clps):
+        res = simulate_clp(clp, pipeline_depth=12)
+        delta = res.total_cycles - clp.total_cycles
+        lines.append(
+            f"  CLP{clp_index} RTL-style sim (depth 12): +{delta:.0f} cycles "
+            f"({delta / clp.total_cycles:.2%} of model)"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_hls(args: argparse.Namespace) -> str:
+    from .hls import generate_system
+
+    network = get_network(args.network)
+    dtype = DataType.from_name(args.dtype)
+    budget = budget_for(args.part)
+    optimize = optimize_single_clp if args.single else optimize_multi_clp
+    design = optimize(network, budget, dtype)
+    return generate_system(design)
+
+
+def _cmd_networks(args: argparse.Namespace) -> str:
+    if args.network:
+        return get_network(args.network).describe()
+    return "\n\n".join(
+        get_network(name).describe() for name in available_networks()
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    command = args.command
+    if command.startswith("table"):
+        output = _cmd_tables(args)
+    elif command == "fig6":
+        output = _cmd_fig6(args)
+    elif command == "fig7":
+        output = _cmd_fig7(args)
+    elif command == "optimize":
+        output = _cmd_optimize(args)
+    elif command == "gantt":
+        output = _cmd_gantt(args)
+    elif command == "joint":
+        output = _cmd_joint(args)
+    elif command == "latency":
+        output = _cmd_latency(args)
+    elif command == "validate":
+        output = _cmd_validate(args)
+    elif command == "hls":
+        output = _cmd_hls(args)
+    elif command == "networks":
+        output = _cmd_networks(args)
+    else:  # pragma: no cover - argparse guards this
+        raise SystemExit(f"unknown command {command}")
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Core models: layers, networks, datatypes, CLPs, designs, and costs."""
+
+from .bandwidth import LayerTransfer, bandwidth_bound_cycles, layer_transfer
+from .clp import CLPConfig
+from .cost_model import (
+    BufferSpec,
+    bram_breakdown,
+    bram_count,
+    buffer_spec,
+    dsp_count,
+    layer_cycles,
+    max_units_for_budget,
+)
+from .datatypes import FIXED16, FLOAT32, INT8, DataType
+from .design import DesignMetrics, MultiCLPDesign
+from .layer import ConvLayer, input_extent
+from .network import Network
+from .schedule import EpochSchedule, ScheduleEntry, build_schedule
+from .serialize import (
+    design_from_dict,
+    design_to_dict,
+    dump_design,
+    load_design,
+    network_from_dict,
+    network_to_dict,
+)
+from .utilization import (
+    UtilizationReport,
+    clp_utilization,
+    layer_utilization,
+    utilization_report,
+)
+
+__all__ = [
+    "ConvLayer",
+    "Network",
+    "DataType",
+    "FLOAT32",
+    "FIXED16",
+    "INT8",
+    "CLPConfig",
+    "MultiCLPDesign",
+    "DesignMetrics",
+    "BufferSpec",
+    "LayerTransfer",
+    "layer_cycles",
+    "dsp_count",
+    "max_units_for_budget",
+    "buffer_spec",
+    "bram_count",
+    "bram_breakdown",
+    "layer_transfer",
+    "bandwidth_bound_cycles",
+    "input_extent",
+    "EpochSchedule",
+    "ScheduleEntry",
+    "build_schedule",
+    "UtilizationReport",
+    "layer_utilization",
+    "clp_utilization",
+    "utilization_report",
+    "design_to_dict",
+    "design_from_dict",
+    "dump_design",
+    "load_design",
+    "network_to_dict",
+    "network_from_dict",
+]

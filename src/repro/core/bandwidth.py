@@ -1,0 +1,193 @@
+"""Off-chip data transfer and bandwidth models (Section 4.2).
+
+The tiled loop nest of Listing 2 fetches the input tile and the weight
+tile once per ``(r, c, m, n)`` iteration and writes the output tile once
+per ``(r, c, m)`` iteration.  Transfers move *actual* data, clamped to
+layer boundaries (a CLP with Tn=7 computing a layer with N=3 only fetches
+3 input feature maps).  Double buffering overlaps transfer with compute,
+so a CLP only stalls when the transfer time of a phase exceeds its
+compute time.
+
+Closed forms used below (with ``rsteps = ceil(R/Tr)`` etc.):
+
+* input words  = ``msteps * N * (S*R + rsteps*(K-S)) * (S*C + csteps*(K-S))``
+  (the sum of boundary-clamped input extents factorises per dimension),
+* weight words = ``rsteps * csteps * N * M * K^2``,
+* output words = ``M * R * C``.
+
+These were validated against Table 3: AlexNet 485T Single-CLP moves
+~9.8 MB for conv1 in 732k cycles, giving the paper's ~1.4 GB/s at
+100 MHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil
+from typing import Optional, Sequence, Tuple
+
+from .datatypes import DataType
+from .layer import ConvLayer, input_extent
+
+__all__ = [
+    "LayerTransfer",
+    "layer_transfer",
+    "bandwidth_bound_cycles",
+    "min_bandwidth_for_cycles",
+    "LAST_TILE_EPSILON",
+]
+
+#: Fractional allowance for the trailing tile's transfer (pipeline drain).
+LAST_TILE_EPSILON = 0.0
+
+
+@dataclass(frozen=True)
+class LayerTransfer:
+    """Data movement of one layer executed on one CLP configuration."""
+
+    layer_name: str
+    compute_cycles: int
+    input_words: int
+    weight_words: int
+    output_words: int
+    first_tile_words: int  # input + weight words of the very first tile
+    steady_words_per_cycle: float  # worst-phase words/cycle to avoid stalls
+
+    @property
+    def total_words(self) -> int:
+        return self.input_words + self.weight_words + self.output_words
+
+    def total_bytes(self, dtype: DataType) -> int:
+        return self.total_words * dtype.word_bytes
+
+    def average_bytes_per_cycle(self, dtype: DataType) -> float:
+        """Layer-average transfer rate at full compute speed."""
+        return self.total_bytes(dtype) / self.compute_cycles
+
+    def steady_bytes_per_cycle(self, dtype: DataType) -> float:
+        """Peak steady-state rate needed for stall-free execution."""
+        return self.steady_words_per_cycle * dtype.word_bytes
+
+
+def _tile_steps(total: int, tile: int) -> int:
+    return ceil(total / tile)
+
+
+def layer_transfer(
+    layer: ConvLayer,
+    tn: int,
+    tm: int,
+    tr: int,
+    tc: int,
+) -> LayerTransfer:
+    """Transfer volumes and rates for one layer on a (Tn, Tm) CLP.
+
+    ``tr``/``tc`` are the layer's spatial tile sizes (Section 3.1).
+    """
+    if not 1 <= tr <= layer.r or not 1 <= tc <= layer.c:
+        raise ValueError(
+            f"tile ({tr}, {tc}) out of range for layer {layer.name!r}"
+        )
+    n, m, r, c, k, s = layer.dims
+    rsteps = _tile_steps(r, tr)
+    csteps = _tile_steps(c, tc)
+    msteps = _tile_steps(m, tm)
+    nsteps = _tile_steps(n, tn)
+
+    # Sum of input extents across boundary-clamped tiles, per dimension.
+    row_extent_sum = s * r + rsteps * (k - s)
+    col_extent_sum = s * c + csteps * (k - s)
+    input_words = msteps * n * row_extent_sum * col_extent_sum
+    weight_words = rsteps * csteps * n * m * k * k
+    output_words = m * r * c
+
+    compute_cycles = r * c * nsteps * msteps * k * k
+
+    # First (ping) tile: full Tr x Tc spatial tile, first Tn input maps,
+    # first Tn x Tm weight set -- all clamped to the layer.
+    first_inputs = min(n, tn) * input_extent(tr, s, k) * input_extent(tc, s, k)
+    first_weights = min(n, tn) * min(m, tm) * k * k
+    first_tile_words = first_inputs + first_weights
+
+    # Steady state: each full n-phase computes K^2*Tr*Tc cycles while the
+    # next phase's inputs and weights stream in; output write-back of a
+    # finished (r, c, m) group is spread over the following group's
+    # nsteps phases.
+    phase_cycles = k * k * tr * tc
+    phase_in = min(n, tn) * input_extent(tr, s, k) * input_extent(tc, s, k)
+    phase_w = min(n, tn) * min(m, tm) * k * k
+    phase_out = min(m, tm) * tr * tc / nsteps
+    steady_words_per_cycle = (phase_in + phase_w + phase_out) / phase_cycles
+
+    return LayerTransfer(
+        layer_name=layer.name,
+        compute_cycles=compute_cycles,
+        input_words=input_words,
+        weight_words=weight_words,
+        output_words=output_words,
+        first_tile_words=first_tile_words,
+        steady_words_per_cycle=steady_words_per_cycle,
+    )
+
+
+def bandwidth_bound_cycles(
+    transfers: Sequence[LayerTransfer],
+    dtype: DataType,
+    bytes_per_cycle: Optional[float],
+) -> float:
+    """Cycles for a CLP to finish its layers under a bandwidth cap.
+
+    With double buffering, each layer completes in the maximum of its
+    compute time and its transfer time, plus the initial tile fill that
+    cannot be overlapped.  ``bytes_per_cycle=None`` means unconstrained.
+    """
+    if bytes_per_cycle is None:
+        return float(sum(t.compute_cycles for t in transfers))
+    if bytes_per_cycle <= 0:
+        raise ValueError("bytes_per_cycle must be positive when set")
+    total = 0.0
+    for t in transfers:
+        transfer_cycles = t.total_bytes(dtype) / bytes_per_cycle
+        fill_cycles = t.first_tile_words * dtype.word_bytes / bytes_per_cycle
+        total += max(t.compute_cycles, transfer_cycles) + fill_cycles
+    return total
+
+
+def min_bandwidth_for_cycles(
+    transfers: Sequence[LayerTransfer],
+    dtype: DataType,
+    cycle_budget: float,
+    tolerance: float = 1e-4,
+) -> float:
+    """Smallest bytes/cycle letting the CLP finish within ``cycle_budget``.
+
+    Monotone in the bandwidth, so solved by bisection.  Raises if even
+    unconstrained compute exceeds the budget.
+    """
+    compute = sum(t.compute_cycles for t in transfers)
+    if compute > cycle_budget:
+        raise ValueError(
+            f"compute alone needs {compute} cycles, over budget {cycle_budget}"
+        )
+    total_bytes = sum(t.total_bytes(dtype) for t in transfers)
+    if total_bytes == 0:
+        return 0.0
+    # Bracket: high enough that every layer is compute bound with fills
+    # absorbed; low = pure serial transfer.
+    low = total_bytes / cycle_budget / 4
+    high = max(
+        total_bytes / max(cycle_budget - compute, 1.0),
+        max(t.steady_bytes_per_cycle(dtype) for t in transfers) * 2,
+        low * 2,
+    )
+    while bandwidth_bound_cycles(transfers, dtype, high) > cycle_budget:
+        high *= 2
+        if high > 1e9:
+            raise RuntimeError("failed to bracket bandwidth requirement")
+    while (high - low) / high > tolerance:
+        mid = (low + high) / 2
+        if bandwidth_bound_cycles(transfers, dtype, mid) <= cycle_budget:
+            high = mid
+        else:
+            low = mid
+    return high

@@ -1,0 +1,133 @@
+"""Arithmetic datatype model for CLP accelerators.
+
+The paper evaluates two datatypes (Section 4.2):
+
+* 32-bit single-precision floating point, where one multiplier costs two
+  Virtex-7 DSP slices and one adder costs three, i.e. 5 DSP slices per
+  multiply-accumulate unit.
+* 16-bit fixed point, where a single DSP slice provides both the
+  multiplier and the adder, i.e. 1 DSP slice per MAC.
+
+The datatype also determines the word size used by the bandwidth model and
+how words pack into 32-bit-wide BRAM-18Kb blocks (pairs of 16-bit words
+share one BRAM entry, which halves the number of physical buffer banks).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["DataType", "FLOAT32", "FIXED16", "INT8"]
+
+
+@dataclass(frozen=True)
+class _DataTypeSpec:
+    """Static properties of an arithmetic datatype.
+
+    ``macs_per_dsp_pair`` expresses the DSP cost as a rational number of
+    MAC units per (dsp_cost) DSP slices: a grid of U units costs
+    ``ceil(U * dsp_cost / macs)`` slices.  float32 is (1 MAC : 5 DSP),
+    fixed16 is (1 : 1), and int8 packs two MACs into one DSP slice
+    (2 : 1), the standard DSP48 dual-INT8 trick.
+    """
+
+    name: str
+    word_bytes: int
+    dsp_per_multiplier: int
+    dsp_per_adder: int
+    words_per_bram_entry: int
+    macs_per_dsp_group: int = 1  # MAC units sharing the group's slices
+
+    @property
+    def dsp_per_mac(self) -> float:
+        """DSP slices consumed by one multiply-accumulate unit.
+
+        May be fractional (int8 fits two MACs per slice); use
+        :func:`repro.core.cost_model.dsp_count` for exact grid costs.
+        """
+        return (
+            self.dsp_per_multiplier + self.dsp_per_adder
+        ) / self.macs_per_dsp_group
+
+
+class DataType(enum.Enum):
+    """Arithmetic datatypes supported by the CLP template."""
+
+    FLOAT32 = _DataTypeSpec(
+        name="float32",
+        word_bytes=4,
+        dsp_per_multiplier=2,
+        dsp_per_adder=3,
+        words_per_bram_entry=1,
+    )
+    FIXED16 = _DataTypeSpec(
+        name="fixed16",
+        word_bytes=2,
+        dsp_per_multiplier=1,
+        dsp_per_adder=0,
+        words_per_bram_entry=2,
+    )
+    INT8 = _DataTypeSpec(
+        name="int8",
+        word_bytes=1,
+        dsp_per_multiplier=1,
+        dsp_per_adder=0,
+        words_per_bram_entry=4,
+        macs_per_dsp_group=2,
+    )
+
+    @property
+    def spec(self) -> _DataTypeSpec:
+        return self.value
+
+    @property
+    def word_bytes(self) -> int:
+        """Bytes per data word (4 for float32, 2 for fixed16)."""
+        return self.spec.word_bytes
+
+    @property
+    def dsp_per_mac(self) -> float:
+        """DSP slices per multiply-accumulate unit (Section 4.2).
+
+        Fractional for int8 (two MACs share one slice).
+        """
+        return self.spec.dsp_per_mac
+
+    @property
+    def words_per_bram_entry(self) -> int:
+        """How many words pack into one 32-bit BRAM entry."""
+        return self.spec.words_per_bram_entry
+
+    @property
+    def label(self) -> str:
+        return self.spec.name
+
+    @classmethod
+    def from_name(cls, name: str) -> "DataType":
+        """Look up a datatype by its friendly name (``float32``/``fixed16``).
+
+        Also accepts the paper's shorthand ``float`` and ``fixed``.
+        """
+        normalized = name.strip().lower()
+        aliases = {
+            "float": cls.FLOAT32,
+            "float32": cls.FLOAT32,
+            "fp32": cls.FLOAT32,
+            "fixed": cls.FIXED16,
+            "fixed16": cls.FIXED16,
+            "int16": cls.FIXED16,
+            "int8": cls.INT8,
+            "fixed8": cls.INT8,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise ValueError(
+                f"unknown datatype {name!r}; expected one of {sorted(aliases)}"
+            ) from None
+
+
+FLOAT32 = DataType.FLOAT32
+FIXED16 = DataType.FIXED16
+INT8 = DataType.INT8

@@ -1,0 +1,136 @@
+"""Epoch schedule for a Multi-CLP accelerator (Section 4.1, Figure 5).
+
+The timeline is divided into epochs.  In each epoch every CLP processes
+its assigned layers sequentially, each layer operating on data produced
+in the *previous* epoch, so there are no intra-epoch dependencies.  The
+image being processed by layer ``i`` during epoch ``e`` entered the
+pipeline at epoch ``e - i`` (one image per layer position in flight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .design import MultiCLPDesign
+
+__all__ = ["ScheduleEntry", "EpochSchedule", "build_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One layer execution inside one epoch."""
+
+    epoch: int
+    clp_index: int
+    layer_name: str
+    image_index: int
+    start_cycle: int  # relative to the epoch start
+    end_cycle: int
+
+
+@dataclass(frozen=True)
+class EpochSchedule:
+    """Concrete schedule for a number of epochs of a design."""
+
+    design: MultiCLPDesign
+    epochs: int
+    entries: Tuple[ScheduleEntry, ...]
+    mode: str = "layer-pipelined"
+
+    @property
+    def epoch_cycles(self) -> int:
+        return self.design.epoch_cycles
+
+    def entries_for_epoch(self, epoch: int) -> List[ScheduleEntry]:
+        return [e for e in self.entries if e.epoch == epoch]
+
+    def entries_for_clp(self, clp_index: int) -> List[ScheduleEntry]:
+        return [e for e in self.entries if e.clp_index == clp_index]
+
+    @property
+    def pipeline_depth(self) -> int:
+        if self.mode == "adjacent":
+            return len(self.design.clps)
+        return len(self.design.network.layers)
+
+    def images_completed(self) -> int:
+        """Images fully processed by the end of the scheduled epochs.
+
+        An image finishes when its last pipeline stage has run; image
+        ``j`` (first image is 0) leaves in epoch ``j + depth - 1``.
+        """
+        return max(0, self.epochs - self.pipeline_depth + 1)
+
+    def latency_cycles(self) -> int:
+        """Cycles from an image entering to leaving the pipeline."""
+        return self.pipeline_depth * self.design.epoch_cycles
+
+    def idle_cycles_by_clp(self) -> Dict[int, int]:
+        """End-of-epoch idle time per CLP per epoch (Figure 5's gaps)."""
+        epoch = self.design.epoch_cycles
+        return {
+            index: epoch - clp.total_cycles
+            for index, clp in enumerate(self.design.clps)
+        }
+
+
+def build_schedule(
+    design: MultiCLPDesign, epochs: int, mode: str = "layer-pipelined"
+) -> EpochSchedule:
+    """Unroll ``epochs`` epochs of the design's static schedule.
+
+    Two modes, per Section 4.1:
+
+    * ``"layer-pipelined"`` (default, Figure 5): layer ``i`` in network
+      order processes image ``epoch - i``; one image per layer position
+      is in flight.
+    * ``"adjacent"``: each CLP advances one image through *all* of its
+      layers within an epoch, so image ``epoch - clp_position`` is in
+      flight per CLP.  Requires an adjacent layer assignment; trades
+      throughput flexibility for latency.
+
+    Negative image indices (pipeline fill) are skipped.
+    """
+    if epochs <= 0:
+        raise ValueError(f"epochs must be positive, got {epochs}")
+    if mode not in ("layer-pipelined", "adjacent"):
+        raise ValueError(f"unknown schedule mode {mode!r}")
+    if mode == "adjacent" and not design.has_adjacent_assignment:
+        raise ValueError(
+            "adjacent schedule requires an adjacent layer assignment"
+        )
+    layer_position = {
+        layer.name: position for position, layer in enumerate(design.network)
+    }
+    if mode == "adjacent":
+        order = sorted(
+            range(len(design.clps)),
+            key=lambda i: layer_position[design.clps[i].layer_names[0]],
+        )
+        stage_of_clp = {clp: stage for stage, clp in enumerate(order)}
+    entries: List[ScheduleEntry] = []
+    for epoch in range(epochs):
+        for clp_index, clp in enumerate(design.clps):
+            cursor = 0
+            for layer in clp.layers:
+                cycles = clp.cycles_for(layer)
+                if mode == "adjacent":
+                    image = epoch - stage_of_clp[clp_index]
+                else:
+                    image = epoch - layer_position[layer.name]
+                if image >= 0:
+                    entries.append(
+                        ScheduleEntry(
+                            epoch=epoch,
+                            clp_index=clp_index,
+                            layer_name=layer.name,
+                            image_index=image,
+                            start_cycle=cursor,
+                            end_cycle=cursor + cycles,
+                        )
+                    )
+                cursor += cycles
+    return EpochSchedule(
+        design=design, epochs=epochs, entries=tuple(entries), mode=mode
+    )

@@ -1,0 +1,134 @@
+"""JSON (de)serialization of networks, CLPs, and designs.
+
+Optimization runs are cheap but not free; a deployment flow wants to
+pin the chosen accelerator configuration in version control and reload
+it for HLS generation, simulation, or scheduling without re-searching.
+The format is plain JSON with a schema version for forward evolution.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .clp import CLPConfig
+from .datatypes import DataType
+from .design import MultiCLPDesign
+from .layer import ConvLayer
+from .network import Network
+
+__all__ = [
+    "layer_to_dict",
+    "layer_from_dict",
+    "network_to_dict",
+    "network_from_dict",
+    "design_to_dict",
+    "design_from_dict",
+    "dump_design",
+    "load_design",
+    "SCHEMA_VERSION",
+]
+
+SCHEMA_VERSION = 1
+
+
+def layer_to_dict(layer: ConvLayer) -> Dict[str, Any]:
+    return {
+        "name": layer.name,
+        "n": layer.n,
+        "m": layer.m,
+        "r": layer.r,
+        "c": layer.c,
+        "k": layer.k,
+        "s": layer.s,
+    }
+
+
+def layer_from_dict(data: Dict[str, Any]) -> ConvLayer:
+    try:
+        return ConvLayer(
+            name=data["name"],
+            n=int(data["n"]),
+            m=int(data["m"]),
+            r=int(data["r"]),
+            c=int(data["c"]),
+            k=int(data["k"]),
+            s=int(data["s"]),
+        )
+    except KeyError as missing:
+        raise ValueError(f"layer record missing field {missing}") from None
+
+
+def network_to_dict(network: Network) -> Dict[str, Any]:
+    return {
+        "name": network.name,
+        "layers": [layer_to_dict(layer) for layer in network],
+    }
+
+
+def network_from_dict(data: Dict[str, Any]) -> Network:
+    return Network(
+        data["name"], [layer_from_dict(entry) for entry in data["layers"]]
+    )
+
+
+def _clp_to_dict(clp: CLPConfig) -> Dict[str, Any]:
+    return {
+        "tn": clp.tn,
+        "tm": clp.tm,
+        "layers": list(clp.layer_names),
+        "tile_plans": [list(plan) for plan in clp.tile_plans],
+    }
+
+
+def design_to_dict(design: MultiCLPDesign) -> Dict[str, Any]:
+    """A self-contained, JSON-ready record of a design."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "dtype": design.dtype.label,
+        "network": network_to_dict(design.network),
+        "clps": [_clp_to_dict(clp) for clp in design.clps],
+        # Redundant summary fields for human diffing; ignored on load.
+        "summary": {
+            "epoch_cycles": design.epoch_cycles,
+            "dsp": design.dsp,
+            "bram": design.bram,
+            "utilization": design.arithmetic_utilization,
+        },
+    }
+
+
+def design_from_dict(data: Dict[str, Any]) -> MultiCLPDesign:
+    schema = data.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported design schema {schema!r}; expected {SCHEMA_VERSION}"
+        )
+    network = network_from_dict(data["network"])
+    dtype = DataType.from_name(data["dtype"])
+    clps: List[CLPConfig] = []
+    for record in data["clps"]:
+        layers = [network.layer_by_name(name) for name in record["layers"]]
+        clps.append(
+            CLPConfig(
+                tn=int(record["tn"]),
+                tm=int(record["tm"]),
+                layers=layers,
+                dtype=dtype,
+                tile_plans=[tuple(plan) for plan in record["tile_plans"]],
+            )
+        )
+    return MultiCLPDesign(network=network, clps=clps, dtype=dtype)
+
+
+def dump_design(design: MultiCLPDesign, path: str) -> None:
+    """Write a design to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(design_to_dict(design), handle, indent=2)
+        handle.write("\n")
+
+
+def load_design(path: str) -> MultiCLPDesign:
+    """Load a design from a JSON file written by :func:`dump_design`."""
+    with open(path) as handle:
+        return design_from_dict(json.load(handle))

@@ -1,0 +1,23 @@
+"""FPGA platform descriptions and resource budgets."""
+
+from .parts import (
+    BRAM18K_SINGLE_BANK_WORDS,
+    BRAM18K_WORDS_32BIT,
+    LUTRAM_CUTOFF_WORDS,
+    PART_CATALOG,
+    FpgaPart,
+    ResourceBudget,
+    budget_for,
+    get_part,
+)
+
+__all__ = [
+    "FpgaPart",
+    "ResourceBudget",
+    "PART_CATALOG",
+    "get_part",
+    "budget_for",
+    "BRAM18K_WORDS_32BIT",
+    "BRAM18K_SINGLE_BANK_WORDS",
+    "LUTRAM_CUTOFF_WORDS",
+]

@@ -1,0 +1,154 @@
+"""FPGA part catalog and resource budgets.
+
+The paper targets Xilinx Virtex-7 485T and 690T devices and projects to
+Virtex UltraScale+ VU9P/VU11P (Figure 7).  A design is optimized against a
+*budget*, which Section 6.1 sets to 80% of the device's DSP slices and
+BRAM-18Kb blocks: 2,240 DSP / 1,648 BRAM on the 485T and 2,880 DSP /
+2,352 BRAM on the 690T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["FpgaPart", "ResourceBudget", "PART_CATALOG", "get_part", "budget_for"]
+
+#: Words stored by one BRAM-18Kb block when organised 512 x 32 bits.
+BRAM18K_WORDS_32BIT = 512
+
+#: Depth below which a double-buffered bank fits a single BRAM (one read
+#: port plus one write port already provided by simple dual-port mode).
+BRAM18K_SINGLE_BANK_WORDS = 256
+
+#: Banks smaller than this many words are mapped to LUTRAM and do not
+#: count against the BRAM budget (Section 4.2).
+LUTRAM_CUTOFF_WORDS = 10
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Resources available to the accelerator on a given platform."""
+
+    dsp: int
+    bram18k: int
+    bandwidth_gbps: Optional[float] = None  # None = unconstrained
+    frequency_mhz: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.dsp <= 0 or self.bram18k <= 0:
+            raise ValueError("budget must have positive DSP and BRAM counts")
+        if self.bandwidth_gbps is not None and self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth budget must be positive when set")
+        if self.frequency_mhz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def cycles_per_second(self) -> float:
+        return self.frequency_mhz * 1e6
+
+    def bytes_per_cycle(self) -> Optional[float]:
+        """Off-chip bytes transferable per cycle, or None if unconstrained."""
+        if self.bandwidth_gbps is None:
+            return None
+        return self.bandwidth_gbps * 1e9 / self.cycles_per_second
+
+    def with_bandwidth(self, bandwidth_gbps: Optional[float]) -> "ResourceBudget":
+        return ResourceBudget(
+            dsp=self.dsp,
+            bram18k=self.bram18k,
+            bandwidth_gbps=bandwidth_gbps,
+            frequency_mhz=self.frequency_mhz,
+        )
+
+    def with_frequency(self, frequency_mhz: float) -> "ResourceBudget":
+        return ResourceBudget(
+            dsp=self.dsp,
+            bram18k=self.bram18k,
+            bandwidth_gbps=self.bandwidth_gbps,
+            frequency_mhz=frequency_mhz,
+        )
+
+
+@dataclass(frozen=True)
+class FpgaPart:
+    """Physical capacities of an FPGA device."""
+
+    name: str
+    dsp_slices: int
+    bram18k: int
+    flip_flops: int
+    luts: int
+
+    def budget(
+        self,
+        fraction: float = 0.8,
+        bandwidth_gbps: Optional[float] = None,
+        frequency_mhz: float = 100.0,
+    ) -> ResourceBudget:
+        """Resource budget at ``fraction`` of capacity (paper uses 80%)."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        return ResourceBudget(
+            dsp=int(self.dsp_slices * fraction),
+            bram18k=int(self.bram18k * fraction),
+            bandwidth_gbps=bandwidth_gbps,
+            frequency_mhz=frequency_mhz,
+        )
+
+
+PART_CATALOG: Dict[str, FpgaPart] = {
+    "485t": FpgaPart(
+        name="Virtex-7 485T",
+        dsp_slices=2800,
+        bram18k=2060,
+        flip_flops=607200,
+        luts=303600,
+    ),
+    "690t": FpgaPart(
+        name="Virtex-7 690T",
+        dsp_slices=3600,
+        bram18k=2940,
+        flip_flops=866400,
+        luts=433200,
+    ),
+    "vu9p": FpgaPart(
+        name="Virtex UltraScale+ VU9P",
+        dsp_slices=6840,
+        bram18k=4320,
+        flip_flops=2364480,
+        luts=1182240,
+    ),
+    "vu11p": FpgaPart(
+        name="Virtex UltraScale+ VU11P",
+        dsp_slices=9216,
+        bram18k=4032,
+        flip_flops=2592000,
+        luts=1296000,
+    ),
+}
+
+
+def get_part(name: str) -> FpgaPart:
+    """Look up an FPGA part by short name (e.g. ``"485t"``, ``"690T"``)."""
+    key = name.strip().lower().replace("virtex-7 ", "").replace(" ", "")
+    try:
+        return PART_CATALOG[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown FPGA part {name!r}; known: {sorted(PART_CATALOG)}"
+        ) from None
+
+
+def budget_for(
+    part_name: str,
+    bandwidth_gbps: Optional[float] = None,
+    frequency_mhz: float = 100.0,
+    fraction: float = 0.8,
+) -> ResourceBudget:
+    """Convenience wrapper: the paper's 80% budget for a named part."""
+    return get_part(part_name).budget(
+        fraction=fraction,
+        bandwidth_gbps=bandwidth_gbps,
+        frequency_mhz=frequency_mhz,
+    )

@@ -1,0 +1,29 @@
+"""HLS lowering: template generation and the virtual toolflow."""
+
+from .synthesis import (
+    ClpImplementation,
+    DesignImplementation,
+    implement_clp,
+    implement_design,
+)
+from .template import (
+    LayerDescriptor,
+    TemplateParameters,
+    generate_clp_source,
+    generate_system,
+    layer_descriptor,
+    template_parameters,
+)
+
+__all__ = [
+    "TemplateParameters",
+    "template_parameters",
+    "generate_clp_source",
+    "generate_system",
+    "LayerDescriptor",
+    "layer_descriptor",
+    "ClpImplementation",
+    "DesignImplementation",
+    "implement_clp",
+    "implement_design",
+]

@@ -1,0 +1,46 @@
+"""Network zoo: the four CNNs evaluated in the paper."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.network import Network
+from .alexnet import alexnet
+from .googlenet import googlenet
+from .squeezenet import squeezenet
+from .vggnet import vggnet_e
+
+__all__ = [
+    "alexnet",
+    "vggnet_e",
+    "squeezenet",
+    "googlenet",
+    "get_network",
+    "available_networks",
+]
+
+_REGISTRY: Dict[str, Callable[[], Network]] = {
+    "alexnet": alexnet,
+    "vggnet-e": vggnet_e,
+    "vggnet": vggnet_e,
+    "vgg19": vggnet_e,
+    "squeezenet": squeezenet,
+    "googlenet": googlenet,
+}
+
+
+def get_network(name: str) -> Network:
+    """Build a network from the zoo by (case-insensitive) name."""
+    key = name.strip().lower()
+    try:
+        factory = _REGISTRY[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown network {name!r}; known: {available_networks()}"
+        ) from None
+    return factory()
+
+
+def available_networks() -> List[str]:
+    """Canonical names accepted by :func:`get_network`."""
+    return ["alexnet", "vggnet-e", "squeezenet", "googlenet"]

@@ -1,0 +1,37 @@
+"""AlexNet convolutional layers (Krizhevsky et al., NIPS 2012).
+
+The paper follows the original two-GPU formulation (Figure 2): each of
+the five convolutional stages is split into an "a" and "b" half, giving
+ten convolutional layers.  Layer 3 is the only stage with full
+cross-connectivity (each half sees all 256 input maps); the grouped
+stages 2, 4, and 5 see only their own half's maps.
+
+These dimensions reproduce the paper's Table 2 cycle counts exactly
+(e.g. Tn=7, Tm=64 computes layers 1a+1b in 732k cycles).
+"""
+
+from __future__ import annotations
+
+from ..core.layer import ConvLayer
+from ..core.network import Network
+
+__all__ = ["alexnet"]
+
+
+def alexnet() -> Network:
+    """The ten AlexNet convolutional layers in network order."""
+    halves = []
+    stage_dims = [
+        # (name, N, M-per-half, R, C, K, S)
+        ("conv1", 3, 48, 55, 55, 11, 4),
+        ("conv2", 48, 128, 27, 27, 5, 1),
+        ("conv3", 256, 192, 13, 13, 3, 1),
+        ("conv4", 192, 192, 13, 13, 3, 1),
+        ("conv5", 192, 128, 13, 13, 3, 1),
+    ]
+    for name, n, m_half, r, c, k, s in stage_dims:
+        for suffix in ("a", "b"):
+            halves.append(
+                ConvLayer(name=f"{name}{suffix}", n=n, m=m_half, r=r, c=c, k=k, s=s)
+            )
+    return Network("AlexNet", halves)

@@ -1,0 +1,63 @@
+"""GoogLeNet (Inception v1) convolutional layers (Szegedy et al., 2015).
+
+Fifty-seven convolutional layers: three stem convolutions followed by
+nine inception modules, each contributing six convolutions (1x1 branch,
+3x3 reduce + 3x3, 5x5 reduce + 5x5, and the pool-projection 1x1).
+Auxiliary-classifier convolutions are excluded, as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.layer import ConvLayer
+from ..core.network import Network
+
+__all__ = ["googlenet"]
+
+_INCEPTIONS = [
+    # (name, input ch, 1x1, 3x3red, 3x3, 5x5red, 5x5, poolproj, spatial)
+    ("3a", 192, 64, 96, 128, 16, 32, 32, 28),
+    ("3b", 256, 128, 128, 192, 32, 96, 64, 28),
+    ("4a", 480, 192, 96, 208, 16, 48, 64, 14),
+    ("4b", 512, 160, 112, 224, 24, 64, 64, 14),
+    ("4c", 512, 128, 128, 256, 24, 64, 64, 14),
+    ("4d", 512, 112, 144, 288, 32, 64, 64, 14),
+    ("4e", 528, 256, 160, 320, 32, 128, 128, 14),
+    ("5a", 832, 256, 160, 320, 32, 128, 128, 7),
+    ("5b", 832, 384, 192, 384, 48, 128, 128, 7),
+]
+
+
+def _inception(
+    name: str,
+    n_in: int,
+    c1: int,
+    c3r: int,
+    c3: int,
+    c5r: int,
+    c5: int,
+    pool: int,
+    size: int,
+) -> List[ConvLayer]:
+    prefix = f"inception_{name}"
+    return [
+        ConvLayer(f"{prefix}/1x1", n=n_in, m=c1, r=size, c=size, k=1),
+        ConvLayer(f"{prefix}/3x3_reduce", n=n_in, m=c3r, r=size, c=size, k=1),
+        ConvLayer(f"{prefix}/3x3", n=c3r, m=c3, r=size, c=size, k=3),
+        ConvLayer(f"{prefix}/5x5_reduce", n=n_in, m=c5r, r=size, c=size, k=1),
+        ConvLayer(f"{prefix}/5x5", n=c5r, m=c5, r=size, c=size, k=5),
+        ConvLayer(f"{prefix}/pool_proj", n=n_in, m=pool, r=size, c=size, k=1),
+    ]
+
+
+def googlenet() -> Network:
+    """The fifty-seven GoogLeNet convolutional layers in network order."""
+    layers = [
+        ConvLayer("conv1/7x7_s2", n=3, m=64, r=112, c=112, k=7, s=2),
+        ConvLayer("conv2/3x3_reduce", n=64, m=64, r=56, c=56, k=1),
+        ConvLayer("conv2/3x3", n=64, m=192, r=56, c=56, k=3),
+    ]
+    for args in _INCEPTIONS:
+        layers.extend(_inception(*args))
+    return Network("GoogLeNet", layers)

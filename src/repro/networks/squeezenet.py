@@ -1,0 +1,48 @@
+"""SqueezeNet v1.1 convolutional layers (Iandola et al., 2016).
+
+Twenty-six convolutional layers: conv1, eight fire modules (each a 1x1
+squeeze plus 1x1 and 3x3 expands), and the final conv10 classifier.  The
+paper's Section 3.2 quotes layer 1 as (N, M) = (3, 64) and layer 2 as
+(64, 16), matching the v1.1 revision of the network used here.
+
+Spatial sizes follow the standard 227x227 input with ceil-mode pooling:
+conv1 output 113, pool1 -> 56, pool3 -> 28, pool5 -> 14.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.layer import ConvLayer
+from ..core.network import Network
+
+__all__ = ["squeezenet"]
+
+_FIRE_MODULES = [
+    # (fire index, input channels, squeeze, expand-per-branch, spatial size)
+    (2, 64, 16, 64, 56),
+    (3, 128, 16, 64, 56),
+    (4, 128, 32, 128, 28),
+    (5, 256, 32, 128, 28),
+    (6, 256, 48, 192, 14),
+    (7, 384, 48, 192, 14),
+    (8, 384, 64, 256, 14),
+    (9, 512, 64, 256, 14),
+]
+
+
+def _fire(index: int, n_in: int, squeeze: int, expand: int, size: int) -> List[ConvLayer]:
+    return [
+        ConvLayer(f"fire{index}/squeeze1x1", n=n_in, m=squeeze, r=size, c=size, k=1),
+        ConvLayer(f"fire{index}/expand1x1", n=squeeze, m=expand, r=size, c=size, k=1),
+        ConvLayer(f"fire{index}/expand3x3", n=squeeze, m=expand, r=size, c=size, k=3),
+    ]
+
+
+def squeezenet() -> Network:
+    """The twenty-six SqueezeNet v1.1 convolutional layers."""
+    layers = [ConvLayer("conv1", n=3, m=64, r=113, c=113, k=3, s=2)]
+    for index, n_in, squeeze, expand, size in _FIRE_MODULES:
+        layers.extend(_fire(index, n_in, squeeze, expand, size))
+    layers.append(ConvLayer("conv10", n=512, m=1000, r=14, c=14, k=1))
+    return Network("SqueezeNet", layers)

@@ -1,0 +1,38 @@
+"""VGGNet-E (VGG-19) convolutional layers (Simonyan & Zisserman, 2014).
+
+Sixteen 3x3 stride-1 convolutional layers in five blocks.  The layers are
+dimensionally very regular (N and M are large powers of two throughout),
+which is why the paper finds only a 1.01x Multi-CLP improvement for this
+network: a single CLP already fits nearly every layer.
+"""
+
+from __future__ import annotations
+
+from ..core.layer import ConvLayer
+from ..core.network import Network
+
+__all__ = ["vggnet_e"]
+
+_BLOCKS = [
+    # (block, conv count, N of first conv, M, output R=C)
+    (1, 2, 3, 64, 224),
+    (2, 2, 64, 128, 112),
+    (3, 4, 128, 256, 56),
+    (4, 4, 256, 512, 28),
+    (5, 4, 512, 512, 14),
+]
+
+
+def vggnet_e() -> Network:
+    """The sixteen VGG-19 convolutional layers in network order."""
+    layers = []
+    for block, count, n_first, m, size in _BLOCKS:
+        n = n_first
+        for i in range(1, count + 1):
+            layers.append(
+                ConvLayer(
+                    name=f"conv{block}_{i}", n=n, m=m, r=size, c=size, k=3, s=1
+                )
+            )
+            n = m
+    return Network("VGGNet-E", layers)

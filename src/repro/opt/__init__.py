@@ -1,0 +1,61 @@
+"""Design-space optimization: the paper's Section 4.3 algorithms."""
+
+from .compute import CLPCandidate, PartitionCandidate, SegmentSearch
+from .driver import (
+    OptimizationError,
+    OptimizerReport,
+    minimum_possible_cycles,
+    optimize_multi_clp,
+    optimize_single_clp,
+)
+from .heuristics import (
+    ORDERINGS,
+    get_ordering,
+    order_by_compute_to_data,
+    order_by_nm_distance,
+    order_natural,
+)
+from .joint import (
+    JointDesign,
+    combine_networks,
+    latency_throughput_frontier,
+    optimize_joint,
+    optimize_latency_constrained,
+)
+from .memory import (
+    ClpMemoryPlan,
+    MemorySolution,
+    TilePoint,
+    clp_pareto,
+    optimize_memory,
+    system_tradeoff_curve,
+    tile_candidates,
+)
+
+__all__ = [
+    "SegmentSearch",
+    "CLPCandidate",
+    "PartitionCandidate",
+    "optimize_multi_clp",
+    "optimize_single_clp",
+    "minimum_possible_cycles",
+    "OptimizationError",
+    "OptimizerReport",
+    "ORDERINGS",
+    "get_ordering",
+    "order_natural",
+    "order_by_compute_to_data",
+    "order_by_nm_distance",
+    "TilePoint",
+    "ClpMemoryPlan",
+    "MemorySolution",
+    "tile_candidates",
+    "clp_pareto",
+    "optimize_memory",
+    "system_tradeoff_curve",
+    "JointDesign",
+    "combine_networks",
+    "optimize_joint",
+    "optimize_latency_constrained",
+    "latency_throughput_frontier",
+]

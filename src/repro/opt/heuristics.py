@@ -1,0 +1,83 @@
+"""Layer-ordering heuristics for OptimizeCompute (Section 4.3).
+
+The optimizer only considers layer-to-CLP assignments where each CLP
+computes a *contiguous* run of layers in a heuristic order, pruning the
+exponential assignment space.  The paper suggests two orders:
+
+* **compute-to-data ratio** for bandwidth-limited accelerators, grouping
+  layers with similar transfer pressure;
+* **(N, M) Euclidean distance** for compute-bound accelerators, grouping
+  layers whose dimensions suit similar (Tn, Tm) grids.  We realise this
+  as a greedy nearest-neighbour chain through (N, M) space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Sequence
+
+from ..core.layer import ConvLayer
+
+__all__ = [
+    "order_natural",
+    "order_by_compute_to_data",
+    "order_by_nm_distance",
+    "get_ordering",
+    "ORDERINGS",
+]
+
+
+def order_natural(layers: Sequence[ConvLayer]) -> List[ConvLayer]:
+    """Keep the network's own layer order."""
+    return list(layers)
+
+
+def order_by_compute_to_data(layers: Sequence[ConvLayer]) -> List[ConvLayer]:
+    """Sort by MACs-per-word, descending (bandwidth-limited heuristic)."""
+    return sorted(
+        layers, key=lambda layer: layer.compute_to_data_ratio, reverse=True
+    )
+
+
+def _nm_distance(a: ConvLayer, b: ConvLayer) -> float:
+    return math.hypot(a.n - b.n, a.m - b.m)
+
+
+def order_by_nm_distance(layers: Sequence[ConvLayer]) -> List[ConvLayer]:
+    """Greedy nearest-neighbour chain through (N, M) space.
+
+    Starts from the layer with the smallest N+M (the most "extreme"
+    corner, typically the input layer) and repeatedly appends the closest
+    unvisited layer, so adjacent layers in the order have compatible
+    dimensions.
+    """
+    remaining = list(layers)
+    if not remaining:
+        return []
+    current = min(remaining, key=lambda layer: (layer.n + layer.m, layer.name))
+    chain = [current]
+    remaining.remove(current)
+    while remaining:
+        current = min(
+            remaining, key=lambda layer: (_nm_distance(chain[-1], layer), layer.name)
+        )
+        chain.append(current)
+        remaining.remove(current)
+    return chain
+
+
+ORDERINGS: Dict[str, Callable[[Sequence[ConvLayer]], List[ConvLayer]]] = {
+    "natural": order_natural,
+    "compute-to-data": order_by_compute_to_data,
+    "nm-distance": order_by_nm_distance,
+}
+
+
+def get_ordering(name: str) -> Callable[[Sequence[ConvLayer]], List[ConvLayer]]:
+    """Look up an ordering heuristic by name."""
+    try:
+        return ORDERINGS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown ordering {name!r}; known: {sorted(ORDERINGS)}"
+        ) from None

@@ -1,0 +1,150 @@
+"""Extensions of the optimizer the paper sketches but does not evaluate.
+
+* **Joint multi-CNN optimization** (Section 4.3: "this optimization can
+  be simultaneously applied to multiple target CNNs to jointly optimize
+  their performance").  The layers of all target networks are pooled
+  and partitioned together; each epoch advances one image of *every*
+  network, so the epoch length reflects the combined workload and CLPs
+  may serve layers from different CNNs.
+
+* **Latency-constrained optimization** (Section 4.1: constraining each
+  CLP to layers *adjacent* in the CNN lets a CLP carry an image through
+  several layers per epoch, cutting the number of in-flight images to
+  the CLP count at some throughput cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.datatypes import DataType
+from ..core.design import MultiCLPDesign
+from ..core.layer import ConvLayer
+from ..core.network import Network
+from ..fpga.parts import ResourceBudget
+from .driver import DEFAULT_MAX_CLPS, optimize_multi_clp
+
+__all__ = [
+    "combine_networks",
+    "JointDesign",
+    "optimize_joint",
+    "optimize_latency_constrained",
+    "latency_throughput_frontier",
+]
+
+_JOINT_SEPARATOR = "::"
+
+
+def combine_networks(networks: Sequence[Network]) -> Network:
+    """Pool several CNNs into one layer list with namespaced names."""
+    if not networks:
+        raise ValueError("need at least one network")
+    names = [network.name for network in networks]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate network names: {names}")
+    layers: List[ConvLayer] = []
+    for network in networks:
+        for layer in network:
+            layers.append(
+                layer.with_name(f"{network.name}{_JOINT_SEPARATOR}{layer.name}")
+            )
+    return Network(" + ".join(names), layers)
+
+
+@dataclass(frozen=True)
+class JointDesign:
+    """A shared accelerator serving several CNNs concurrently."""
+
+    design: MultiCLPDesign
+    networks: Tuple[Network, ...]
+
+    @property
+    def epoch_cycles(self) -> int:
+        return self.design.epoch_cycles
+
+    def throughput_per_network(self, frequency_mhz: float) -> Dict[str, float]:
+        """Images/s of each network (one image each per epoch)."""
+        rate = frequency_mhz * 1e6 / self.design.epoch_cycles
+        return {network.name: rate for network in self.networks}
+
+    def clps_serving(self, network_name: str) -> List[int]:
+        """Indices of CLPs computing at least one layer of a network."""
+        prefix = f"{network_name}{_JOINT_SEPARATOR}"
+        return [
+            index
+            for index, clp in enumerate(self.design.clps)
+            if any(name.startswith(prefix) for name in clp.layer_names)
+        ]
+
+    def describe(self) -> str:
+        lines = [self.design.describe()]
+        for network in self.networks:
+            shared = self.clps_serving(network.name)
+            lines.append(
+                f"  {network.name}: served by CLPs {shared}"
+            )
+        return "\n".join(lines)
+
+
+def optimize_joint(
+    networks: Sequence[Network],
+    budget: ResourceBudget,
+    dtype: DataType,
+    max_clps: int = DEFAULT_MAX_CLPS,
+    ordering: str = "auto",
+    **kwargs,
+) -> JointDesign:
+    """Jointly optimize one accelerator for several CNNs.
+
+    The combined epoch processes one image of every network; CLPs are
+    free to mix layers from different networks (similar layers across
+    CNNs naturally land on the same CLP through the ordering heuristic).
+    """
+    combined = combine_networks(networks)
+    design = optimize_multi_clp(
+        combined, budget, dtype, max_clps=max_clps, ordering=ordering, **kwargs
+    )
+    return JointDesign(design=design, networks=tuple(networks))
+
+
+def optimize_latency_constrained(
+    network: Network,
+    budget: ResourceBudget,
+    dtype: DataType,
+    max_clps: int = DEFAULT_MAX_CLPS,
+    **kwargs,
+) -> MultiCLPDesign:
+    """Best design whose CLPs own *adjacent* layer runs (Section 4.1).
+
+    Natural-order partitioning guarantees adjacency, enabling the
+    low-latency schedule where only ``num_clps`` images are in flight.
+    """
+    design = optimize_multi_clp(
+        network, budget, dtype, max_clps=max_clps, ordering="natural", **kwargs
+    )
+    assert design.has_adjacent_assignment
+    return design
+
+
+def latency_throughput_frontier(
+    network: Network,
+    budget: ResourceBudget,
+    dtype: DataType,
+    max_clps: int = DEFAULT_MAX_CLPS,
+    **kwargs,
+) -> List[Tuple[int, int, int]]:
+    """(allowed CLPs, latency cycles, epoch cycles) latency sweep.
+
+    Fewer CLPs mean fewer in-flight images (lower latency) but less
+    specialization (longer epochs) — the tradeoff Section 4.1 sketches.
+    """
+    frontier: List[Tuple[int, int, int]] = []
+    for cap in range(1, max_clps + 1):
+        design = optimize_latency_constrained(
+            network, budget, dtype, max_clps=cap, **kwargs
+        )
+        frontier.append(
+            (cap, design.latency_cycles(), design.epoch_cycles)
+        )
+    return frontier

@@ -1,0 +1,33 @@
+"""Simulators: functional (numerical), cycle-level CLP, and system DES."""
+
+from .clp_sim import (
+    ClpSimResult,
+    LayerSimResult,
+    TileJob,
+    simulate_clp,
+    tile_sequence,
+)
+from .engine import Simulator
+from .functional import (
+    TransferCounters,
+    random_layer_data,
+    reference_conv,
+    tiled_conv,
+)
+from .system import SharedChannel, SystemSimResult, simulate_system
+
+__all__ = [
+    "reference_conv",
+    "tiled_conv",
+    "random_layer_data",
+    "TransferCounters",
+    "Simulator",
+    "TileJob",
+    "tile_sequence",
+    "simulate_clp",
+    "ClpSimResult",
+    "LayerSimResult",
+    "SharedChannel",
+    "SystemSimResult",
+    "simulate_system",
+]

@@ -1,0 +1,66 @@
+"""A small discrete-event simulation engine.
+
+Used by the system-level Multi-CLP simulator to model CLPs contending
+for a shared off-chip memory channel.  Events are (time, sequence,
+callback) tuples on a heap; the sequence number keeps simultaneous
+events in scheduling order, making runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Deterministic event loop with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (cycles)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` cycles."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), callback)
+        )
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute ``time``."""
+        self.schedule(time - self._now, callback)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains (or ``until`` passes).
+
+        Returns the final simulation time.
+        """
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = time
+            self._processed += 1
+            callback()
+        return self._now
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, if any."""
+        return self._queue[0][0] if self._queue else None

@@ -1,0 +1,182 @@
+"""Functional simulation of the CLP loop nests.
+
+Two executable models of a convolutional layer:
+
+* :func:`reference_conv` — the direct six-loop nest of Listing 1, the
+  golden model.
+* :func:`tiled_conv` — the tiled/unrolled nest of Listing 2 exactly as
+  the CLP hardware executes it: explicit ``Ibuf``/``Obuf``/``Wbuf``
+  on-chip buffers, boundary-clamped tile loops, and per-buffer transfer
+  accounting.
+
+Their numerical equivalence validates the accelerator's loop
+transformation, and the transfer counters cross-validate the closed-form
+bandwidth model in :mod:`repro.core.bandwidth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..core.layer import ConvLayer, input_extent
+
+__all__ = [
+    "reference_conv",
+    "tiled_conv",
+    "TransferCounters",
+    "random_layer_data",
+]
+
+
+@dataclass
+class TransferCounters:
+    """Words moved between off-chip memory and the CLP buffers."""
+
+    input_words: int = 0
+    weight_words: int = 0
+    output_words: int = 0
+    tile_count: int = 0
+
+    @property
+    def total_words(self) -> int:
+        return self.input_words + self.weight_words + self.output_words
+
+
+def _validate_operands(
+    layer: ConvLayer, inputs: np.ndarray, weights: np.ndarray
+) -> None:
+    expected_input = (layer.n, layer.input_rows, layer.input_cols)
+    if inputs.shape != expected_input:
+        raise ValueError(
+            f"input shape {inputs.shape} != expected {expected_input}"
+        )
+    expected_weights = (layer.m, layer.n, layer.k, layer.k)
+    if weights.shape != expected_weights:
+        raise ValueError(
+            f"weight shape {weights.shape} != expected {expected_weights}"
+        )
+
+
+def reference_conv(
+    layer: ConvLayer,
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    bias: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Golden convolution: the plain loop nest of Listing 1.
+
+    The K x K loops run in Python; the (M, N) reductions use numpy.
+    """
+    _validate_operands(layer, inputs, weights)
+    n, m, r, c, k, s = layer.dims
+    out = np.zeros((m, r, c), dtype=np.result_type(inputs, weights))
+    if bias is not None:
+        if bias.shape != (m,):
+            raise ValueError(f"bias shape {bias.shape} != ({m},)")
+        out += bias[:, None, None]
+    for i in range(k):
+        for j in range(k):
+            window = inputs[:, i : i + r * s : s, j : j + c * s : s]
+            # out[m, r, c] += sum_n W[m, n, i, j] * window[n, r, c]
+            out += np.tensordot(weights[:, :, i, j], window, axes=(1, 0))
+    return out
+
+
+def tiled_conv(
+    layer: ConvLayer,
+    inputs: np.ndarray,
+    weights: np.ndarray,
+    tn: int,
+    tm: int,
+    tr: int,
+    tc: int,
+    bias: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, TransferCounters]:
+    """The CLP's tiled execution (Listing 2 / Listing 4).
+
+    Data is staged through explicit on-chip buffers sized exactly as the
+    BRAM model assumes; every buffer refill and write-out increments the
+    transfer counters with the clamped (actual) word counts.
+    """
+    _validate_operands(layer, inputs, weights)
+    if tn <= 0 or tm <= 0:
+        raise ValueError(f"Tn and Tm must be positive, got ({tn}, {tm})")
+    if not 1 <= tr <= layer.r or not 1 <= tc <= layer.c:
+        raise ValueError(f"tile ({tr}, {tc}) out of range")
+    n, m, r, c, k, s = layer.dims
+    dtype = np.result_type(inputs, weights)
+    out = np.zeros((m, r, c), dtype=dtype)
+    counters = TransferCounters()
+
+    in_rows = input_extent(tr, s, k)
+    in_cols = input_extent(tc, s, k)
+    ibuf = np.zeros((tn, in_rows, in_cols), dtype=dtype)
+    obuf = np.zeros((tm, tr, tc), dtype=dtype)
+    wbuf = np.zeros((tm, tn, k, k), dtype=dtype)
+
+    for r0 in range(0, r, tr):
+        rloops = min(tr, r - r0)
+        for c0 in range(0, c, tc):
+            cloops = min(tc, c - c0)
+            for m0 in range(0, m, tm):
+                mloops = min(tm, m - m0)
+                obuf[:] = 0
+                if bias is not None:
+                    obuf[:mloops, :rloops, :cloops] = bias[
+                        m0 : m0 + mloops, None, None
+                    ]
+                for n0 in range(0, n, tn):
+                    nloops = min(tn, n - n0)
+                    # --- refill Ibuf (clamped transfer) ---
+                    row_lo = r0 * s
+                    row_hi = (r0 + rloops - 1) * s + k
+                    col_lo = c0 * s
+                    col_hi = (c0 + cloops - 1) * s + k
+                    ibuf[:] = 0
+                    ibuf[:nloops, : row_hi - row_lo, : col_hi - col_lo] = (
+                        inputs[n0 : n0 + nloops, row_lo:row_hi, col_lo:col_hi]
+                    )
+                    counters.input_words += (
+                        nloops * (row_hi - row_lo) * (col_hi - col_lo)
+                    )
+                    # --- refill Wbuf ---
+                    wbuf[:] = 0
+                    wbuf[:mloops, :nloops] = weights[
+                        m0 : m0 + mloops, n0 : n0 + nloops
+                    ]
+                    counters.weight_words += mloops * nloops * k * k
+                    counters.tile_count += 1
+                    # --- compute(): K x K outer, tile loops inner ---
+                    for i in range(k):
+                        for j in range(k):
+                            window = ibuf[
+                                :, i : i + rloops * s : s, j : j + cloops * s : s
+                            ]
+                            obuf[:, :rloops, :cloops] += np.tensordot(
+                                wbuf[:, :, i, j], window, axes=(1, 0)
+                            )
+                # --- write_output() ---
+                out[m0 : m0 + mloops, r0 : r0 + rloops, c0 : c0 + cloops] = (
+                    obuf[:mloops, :rloops, :cloops]
+                )
+                counters.output_words += mloops * rloops * cloops
+    return out, counters
+
+
+def random_layer_data(
+    layer: ConvLayer, seed: int = 0, dtype=np.float64
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deterministic random (inputs, weights, bias) for a layer."""
+    rng = np.random.default_rng(seed)
+    inputs = rng.standard_normal(
+        (layer.n, layer.input_rows, layer.input_cols)
+    ).astype(dtype)
+    weights = rng.standard_normal(
+        (layer.m, layer.n, layer.k, layer.k)
+    ).astype(dtype)
+    bias = rng.standard_normal(layer.m).astype(dtype)
+    return inputs, weights, bias

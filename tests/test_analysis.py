@@ -1,0 +1,124 @@
+"""Tests for the experiment harness (tables, figures, report helpers)."""
+
+import pytest
+
+from repro.analysis import paper_data
+from repro.analysis.report import ascii_plot, format_ratio, render_table
+from repro.analysis.tables import design_for, table2, table3, table6, table8
+from repro.analysis.figures import figure6, figure7
+
+
+class TestReportHelpers:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "long"], [(1, 2), (33, 4)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [(1, 2)])
+
+    def test_render_table_title(self):
+        assert render_table(["x"], [(1,)], title="T").startswith("T\n")
+
+    def test_format_ratio(self):
+        assert "2.00x" in format_ratio(2.0, 1.0)
+        assert "paper 0" in format_ratio(1.0, 0.0)
+
+    def test_ascii_plot_dimensions(self):
+        out = ascii_plot([(0, 0), (10, 5)], width=20, height=5)
+        assert out.count("\n") >= 6
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot([]) == "(no points)"
+
+
+class TestPaperData:
+    def test_table1_has_16_cases(self):
+        assert len(paper_data.TABLE1_UTILIZATION) == 16
+
+    def test_table2_dsp_conservation(self):
+        # Section 6.3: the 690T Multi-CLP uses exactly the Single-CLP's
+        # 576 units spread over six CLPs.
+        multi = paper_data.TABLE2_CONFIGS["690t_multi"]
+        assert sum(c.tn * c.tm for c in multi) == 9 * 64
+
+    def test_table4_485t_multi_dsp(self):
+        multi = paper_data.TABLE4_CONFIGS["485t_multi"]
+        assert sum(c.tn * c.tm for c in multi) == 2240
+
+    def test_headline_speedups(self):
+        assert paper_data.HEADLINE_SPEEDUPS["alexnet"] == 3.8
+
+
+class TestDesignCache:
+    def test_cache_returns_same_object(self):
+        a = design_for("alexnet", "485t", "float32", single=True)
+        b = design_for("alexnet", "485t", "float32", single=True)
+        assert a is b
+
+    def test_single_flag_distinguishes(self):
+        single = design_for("alexnet", "485t", "float32", single=True)
+        multi = design_for("alexnet", "485t", "float32", single=False)
+        assert single.num_clps == 1
+        assert multi.num_clps > 1
+
+
+class TestTableGenerators:
+    def test_table2_single_matches_paper_exactly(self):
+        result = table2("485t_single")
+        assert result.overall_cycles_k == result.paper_overall_cycles_k == 2006
+
+    def test_table2_multi_at_least_matches_paper(self):
+        result = table2("485t_multi")
+        assert result.overall_cycles_k <= result.paper_overall_cycles_k
+
+    def test_table3_dsp_matches_paper(self):
+        result = table3()
+        for row in result.rows:
+            assert row.dsp == row.paper.dsp
+
+    def test_table3_throughput_within_band(self):
+        result = table3()
+        for row in result.rows:
+            assert row.throughput == pytest.approx(
+                row.paper.throughput, rel=0.05
+            )
+
+    def test_table6_model_column_matches_paper(self):
+        result = table6("485t_single")
+        clp = result.implementation.clps[0]
+        paper = result.paper_rows[0]
+        assert clp.dsp_model == paper.dsp_model
+        assert clp.bram_model == paper.bram_model
+
+    def test_table8_rows_format(self):
+        text = table8().format()
+        assert "485t_single" in text
+        assert "power" in text.lower()
+
+
+class TestFigures:
+    def test_figure6_curves_decrease(self):
+        for curve in figure6():
+            bws = [bw for _, bw in curve.points]
+            assert bws == sorted(bws, reverse=True)
+            assert len(curve.points) >= 2
+
+    def test_figure6_bandwidth_at(self):
+        curve = figure6(parts=("485t",))[0]
+        big = curve.bandwidth_at(10**6)
+        assert big is not None
+        small = curve.bandwidth_at(curve.points[0][0])
+        assert small >= big
+
+    def test_figure7_small_sweep(self):
+        result = figure7(dsp_sweep=(500, 2240))
+        assert len(result.points) == 2
+        last = result.points[-1]
+        assert last.speedup is not None and last.speedup >= 1.0
+
+    def test_figure7_format(self):
+        text = figure7(dsp_sweep=(500,)).format()
+        assert "DSP" in text

@@ -1,0 +1,129 @@
+"""Tests for the transfer-volume and bandwidth models."""
+
+import pytest
+
+from repro.core.bandwidth import (
+    bandwidth_bound_cycles,
+    layer_transfer,
+    min_bandwidth_for_cycles,
+)
+from repro.core.datatypes import FIXED16, FLOAT32
+from repro.core.layer import ConvLayer
+from repro.networks import alexnet
+
+
+class TestLayerTransferVolumes:
+    def test_single_tile_moves_everything_once(self):
+        layer = ConvLayer("l", n=8, m=16, r=10, c=10, k=3)
+        t = layer_transfer(layer, tn=8, tm=16, tr=10, tc=10)
+        assert t.input_words == layer.input_words
+        assert t.weight_words == layer.weight_words
+        assert t.output_words == layer.output_words
+
+    def test_m_steps_reload_inputs(self):
+        layer = ConvLayer("l", n=8, m=32, r=10, c=10, k=3)
+        t = layer_transfer(layer, tn=8, tm=16, tr=10, tc=10)  # msteps=2
+        assert t.input_words == 2 * layer.input_words
+        assert t.weight_words == layer.weight_words
+
+    def test_spatial_steps_reload_weights(self):
+        layer = ConvLayer("l", n=8, m=16, r=10, c=10, k=3)
+        t = layer_transfer(layer, tn=8, tm=16, tr=5, tc=5)  # 4 spatial tiles
+        assert t.weight_words == 4 * layer.weight_words
+        assert t.output_words == layer.output_words
+
+    def test_outputs_written_exactly_once(self):
+        layer = ConvLayer("l", n=7, m=13, r=9, c=11, k=3, s=2)
+        t = layer_transfer(layer, tn=3, tm=5, tr=4, tc=5)
+        assert t.output_words == layer.output_words
+
+    def test_alexnet_conv1_bandwidth_matches_paper_scale(self):
+        # Section 6.3/Table 3 cross-check: the 485T Single-CLP moves
+        # ~4.9MB per conv1 half in 366k cycles (~1.3 GB/s at 100 MHz).
+        layer = alexnet().layer_by_name("conv1a")
+        t = layer_transfer(layer, tn=7, tm=64, tr=8, tc=8)
+        gbps = t.average_bytes_per_cycle(FLOAT32) * 100e6 / 1e9
+        assert gbps == pytest.approx(1.34, abs=0.1)
+
+    def test_total_words(self):
+        layer = ConvLayer("l", n=4, m=4, r=6, c=6, k=3)
+        t = layer_transfer(layer, 2, 2, 3, 3)
+        assert t.total_words == t.input_words + t.weight_words + t.output_words
+
+    def test_byte_conversion(self):
+        layer = ConvLayer("l", n=4, m=4, r=6, c=6, k=3)
+        t = layer_transfer(layer, 2, 2, 3, 3)
+        assert t.total_bytes(FLOAT32) == 2 * t.total_bytes(FIXED16)
+
+    def test_bad_tile_rejected(self):
+        layer = ConvLayer("l", n=4, m=4, r=6, c=6, k=3)
+        with pytest.raises(ValueError):
+            layer_transfer(layer, 2, 2, 7, 3)
+
+
+class TestBandwidthBoundCycles:
+    def _transfers(self):
+        layer = ConvLayer("l", n=16, m=32, r=13, c=13, k=3)
+        return [layer_transfer(layer, 4, 16, 13, 13)]
+
+    def test_unconstrained_equals_compute(self):
+        transfers = self._transfers()
+        assert bandwidth_bound_cycles(transfers, FLOAT32, None) == (
+            transfers[0].compute_cycles
+        )
+
+    def test_generous_bandwidth_adds_only_fill(self):
+        transfers = self._transfers()
+        cycles = bandwidth_bound_cycles(transfers, FLOAT32, 1e9)
+        assert cycles == pytest.approx(transfers[0].compute_cycles, rel=1e-6)
+
+    def test_starved_bandwidth_is_transfer_dominated(self):
+        transfers = self._transfers()
+        bw = 0.01
+        cycles = bandwidth_bound_cycles(transfers, FLOAT32, bw)
+        assert cycles >= transfers[0].total_bytes(FLOAT32) / bw
+
+    def test_monotone_in_bandwidth(self):
+        transfers = self._transfers()
+        values = [
+            bandwidth_bound_cycles(transfers, FLOAT32, bw)
+            for bw in (0.1, 0.5, 1.0, 5.0, 50.0)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bandwidth_bound_cycles(self._transfers(), FLOAT32, 0)
+
+
+class TestMinBandwidth:
+    def _transfers(self):
+        layer = ConvLayer("l", n=16, m=32, r=13, c=13, k=3)
+        return [layer_transfer(layer, 4, 16, 13, 13)]
+
+    def test_found_bandwidth_meets_budget(self):
+        transfers = self._transfers()
+        budget = transfers[0].compute_cycles * 1.02
+        bw = min_bandwidth_for_cycles(transfers, FLOAT32, budget)
+        assert bandwidth_bound_cycles(transfers, FLOAT32, bw) <= budget
+
+    def test_tight_budget_needs_more_bandwidth(self):
+        transfers = self._transfers()
+        compute = transfers[0].compute_cycles
+        tight = min_bandwidth_for_cycles(transfers, FLOAT32, compute * 1.01)
+        loose = min_bandwidth_for_cycles(transfers, FLOAT32, compute * 2.0)
+        assert tight > loose
+
+    def test_impossible_budget_raises(self):
+        transfers = self._transfers()
+        with pytest.raises(ValueError):
+            min_bandwidth_for_cycles(
+                transfers, FLOAT32, transfers[0].compute_cycles - 1
+            )
+
+    def test_near_optimal(self):
+        # The result should sit close to the feasibility boundary.
+        transfers = self._transfers()
+        budget = transfers[0].compute_cycles * 1.05
+        bw = min_bandwidth_for_cycles(transfers, FLOAT32, budget)
+        assert bandwidth_bound_cycles(transfers, FLOAT32, bw * 0.98) > budget

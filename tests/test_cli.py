@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    assert code == 0
+    return captured.out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_optimize_defaults(self):
+        args = build_parser().parse_args(["optimize"])
+        assert args.network == "alexnet"
+        assert args.part == "485t"
+        assert not args.single
+
+
+class TestCommands:
+    def test_networks_lists_zoo(self, capsys):
+        out = run(capsys, "networks")
+        for name in ("AlexNet", "VGGNet-E", "SqueezeNet", "GoogLeNet"):
+            assert name in out
+
+    def test_networks_single(self, capsys):
+        out = run(capsys, "networks", "--network", "alexnet")
+        assert "conv1a" in out
+
+    def test_optimize_single(self, capsys):
+        out = run(capsys, "optimize", "--single")
+        assert "Tn=7" in out and "Tm=64" in out  # Zhang FPGA'15 optimum
+        assert "throughput" in out
+
+    def test_optimize_save(self, capsys, tmp_path):
+        path = tmp_path / "design.json"
+        out = run(capsys, "optimize", "--single", "--save", str(path))
+        assert str(path) in out
+        record = json.loads(path.read_text())
+        assert record["network"]["name"] == "AlexNet"
+
+    def test_table2(self, capsys):
+        out = run(capsys, "table2", "--scenario", "485t_single")
+        assert "2006k" in out or "2006" in out
+
+    def test_gantt(self, capsys):
+        out = run(capsys, "gantt", "--network", "alexnet", "--part", "485t")
+        assert "CLP0" in out and "epoch" in out
+
+    def test_gantt_from_file(self, capsys, tmp_path):
+        path = tmp_path / "design.json"
+        run(capsys, "optimize", "--single", "--save", str(path))
+        out = run(capsys, "gantt", "--load", str(path))
+        assert "CLP0" in out
+
+    def test_latency(self, capsys):
+        out = run(capsys, "latency", "--max-clps", "2")
+        assert "frontier" in out.lower()
+        assert "CLPs" in out
+
+    def test_hls(self, capsys):
+        out = run(capsys, "hls", "--network", "alexnet", "--single")
+        assert "#define TN" in out
+        assert "DATAFLOW" in out
+
+    def test_joint(self, capsys):
+        out = run(capsys, "joint", "alexnet", "squeezenet",
+                  "--part", "690t", "--dtype", "fixed16")
+        assert "AlexNet" in out and "SqueezeNet" in out

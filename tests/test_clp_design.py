@@ -1,0 +1,176 @@
+"""Tests for CLPConfig and MultiCLPDesign containers."""
+
+import pytest
+
+from repro.core.clp import CLPConfig
+from repro.core.datatypes import FIXED16, FLOAT32
+from repro.core.design import MultiCLPDesign
+from repro.core.layer import ConvLayer
+from repro.core.network import Network
+from repro.fpga.parts import ResourceBudget
+
+
+@pytest.fixture
+def layers():
+    return [
+        ConvLayer("a", n=16, m=32, r=13, c=13, k=3),
+        ConvLayer("b", n=32, m=64, r=13, c=13, k=3),
+    ]
+
+
+@pytest.fixture
+def network(layers):
+    return Network("toy", layers)
+
+
+class TestCLPConfig:
+    def test_default_tile_plans_full_maps(self, layers):
+        clp = CLPConfig(4, 8, layers, FLOAT32)
+        assert clp.tile_plans == ((13, 13), (13, 13))
+
+    def test_total_cycles_sum(self, layers):
+        clp = CLPConfig(4, 8, layers, FLOAT32)
+        assert clp.total_cycles == sum(clp.per_layer_cycles.values())
+
+    def test_units_and_dsp(self, layers):
+        clp = CLPConfig(4, 8, layers, FLOAT32)
+        assert clp.units == 32
+        assert clp.dsp == 160
+        assert CLPConfig(4, 8, layers, FIXED16).dsp == 32
+
+    def test_utilization_with_epoch(self, layers):
+        clp = CLPConfig(4, 8, layers, FLOAT32)
+        own = clp.utilization()
+        padded = clp.utilization(epoch_cycles=clp.total_cycles * 2)
+        assert padded == pytest.approx(own / 2)
+
+    def test_utilization_rejects_short_epoch(self, layers):
+        clp = CLPConfig(4, 8, layers, FLOAT32)
+        with pytest.raises(ValueError):
+            clp.utilization(epoch_cycles=1)
+
+    def test_tile_plan_lookup(self, layers):
+        clp = CLPConfig(4, 8, layers, FLOAT32, [(13, 13), (7, 5)])
+        assert clp.tile_plan_for("b") == (7, 5)
+        with pytest.raises(KeyError):
+            clp.tile_plan_for("zzz")
+
+    def test_with_tile_plans(self, layers):
+        clp = CLPConfig(4, 8, layers, FLOAT32)
+        new = clp.with_tile_plans([(6, 6), (7, 7)])
+        assert new.tile_plans == ((6, 6), (7, 7))
+        assert new.total_cycles == clp.total_cycles  # tiles don't change cycles
+
+    def test_bram_by_buffer_sums(self, layers):
+        clp = CLPConfig(4, 8, layers, FLOAT32)
+        assert sum(clp.bram_by_buffer) == clp.bram
+
+    def test_validation(self, layers):
+        with pytest.raises(ValueError):
+            CLPConfig(0, 8, layers, FLOAT32)
+        with pytest.raises(ValueError):
+            CLPConfig(4, 8, [], FLOAT32)
+        with pytest.raises(ValueError):
+            CLPConfig(4, 8, layers, FLOAT32, [(13, 13)])  # plan count
+        with pytest.raises(ValueError):
+            CLPConfig(4, 8, layers, FLOAT32, [(99, 13), (13, 13)])
+
+    def test_describe(self, layers):
+        text = CLPConfig(4, 8, layers, FLOAT32).describe()
+        assert "Tn=4" in text and "a, b" in text
+
+
+class TestMultiCLPDesign:
+    def _design(self, network, layers):
+        clps = [
+            CLPConfig(4, 8, [layers[0]], FLOAT32),
+            CLPConfig(8, 8, [layers[1]], FLOAT32),
+        ]
+        return MultiCLPDesign(network, clps, FLOAT32)
+
+    def test_epoch_is_max(self, network, layers):
+        design = self._design(network, layers)
+        assert design.epoch_cycles == max(c.total_cycles for c in design.clps)
+
+    def test_assignment(self, network, layers):
+        design = self._design(network, layers)
+        assert design.assignment() == {"a": 0, "b": 1}
+
+    def test_utilization_identity(self, network, layers):
+        design = self._design(network, layers)
+        manual = network.total_macs / (
+            design.epoch_cycles * design.total_units
+        )
+        assert design.arithmetic_utilization == pytest.approx(manual)
+
+    def test_per_clp_utilization_bounded(self, network, layers):
+        design = self._design(network, layers)
+        for util in design.per_clp_utilization():
+            assert 0 < util <= 1
+
+    def test_throughput(self, network, layers):
+        design = self._design(network, layers)
+        expected = 100e6 / design.epoch_cycles
+        assert design.throughput(100.0) == pytest.approx(expected)
+
+    def test_fits(self, network, layers):
+        design = self._design(network, layers)
+        assert design.fits(ResourceBudget(dsp=10_000, bram18k=10_000))
+        assert not design.fits(ResourceBudget(dsp=1, bram18k=1))
+
+    def test_single_clp_flag(self, network, layers):
+        single = MultiCLPDesign(
+            network, [CLPConfig(4, 8, layers, FLOAT32)], FLOAT32
+        )
+        assert single.is_single_clp
+        assert not self._design(network, layers).is_single_clp
+
+    def test_rejects_partial_cover(self, network, layers):
+        with pytest.raises(ValueError):
+            MultiCLPDesign(
+                network, [CLPConfig(4, 8, [layers[0]], FLOAT32)], FLOAT32
+            )
+
+    def test_rejects_duplicate_cover(self, network, layers):
+        with pytest.raises(ValueError):
+            MultiCLPDesign(
+                network,
+                [
+                    CLPConfig(4, 8, layers, FLOAT32),
+                    CLPConfig(2, 2, [layers[0]], FLOAT32),
+                ],
+                FLOAT32,
+            )
+
+    def test_rejects_dtype_mismatch(self, network, layers):
+        clps = [CLPConfig(4, 8, layers, FIXED16)]
+        with pytest.raises(ValueError):
+            MultiCLPDesign(network, clps, FLOAT32)
+
+    def test_metrics_unconstrained(self, network, layers):
+        design = self._design(network, layers)
+        budget = ResourceBudget(dsp=10_000, bram18k=10_000)
+        metrics = design.metrics(budget)
+        assert metrics.epoch_cycles == design.epoch_cycles
+        assert metrics.dsp == design.dsp
+        assert metrics.gflops > 0
+
+    def test_metrics_bandwidth_capped(self, network, layers):
+        design = self._design(network, layers)
+        generous = ResourceBudget(
+            dsp=10_000, bram18k=10_000, bandwidth_gbps=1000.0
+        )
+        tight = ResourceBudget(
+            dsp=10_000, bram18k=10_000, bandwidth_gbps=0.01
+        )
+        fast = design.metrics(generous)
+        slow = design.metrics(tight)
+        assert slow.epoch_cycles > fast.epoch_cycles
+        assert slow.throughput_images_per_s < fast.throughput_images_per_s
+
+    def test_required_bandwidth_positive(self, network, layers):
+        design = self._design(network, layers)
+        assert design.required_bandwidth_gbps(100.0) > 0
+
+    def test_describe(self, network, layers):
+        assert "toy" in self._design(network, layers).describe()

@@ -1,0 +1,55 @@
+"""Tests for the arithmetic datatype model."""
+
+import pytest
+
+from repro.core.datatypes import FIXED16, FLOAT32, DataType
+
+
+class TestFloat32:
+    def test_word_bytes(self):
+        assert FLOAT32.word_bytes == 4
+
+    def test_dsp_per_mac_is_five(self):
+        # Section 4.2: 2 DSP per multiplier + 3 per adder.
+        assert FLOAT32.spec.dsp_per_multiplier == 2
+        assert FLOAT32.spec.dsp_per_adder == 3
+        assert FLOAT32.dsp_per_mac == 5
+
+    def test_no_bram_packing(self):
+        assert FLOAT32.words_per_bram_entry == 1
+
+
+class TestFixed16:
+    def test_word_bytes(self):
+        assert FIXED16.word_bytes == 2
+
+    def test_dsp_per_mac_is_one(self):
+        # Section 4.2: one DSP slice provides both adder and multiplier.
+        assert FIXED16.dsp_per_mac == 1
+
+    def test_pairs_pack_into_bram(self):
+        assert FIXED16.words_per_bram_entry == 2
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("float", FLOAT32),
+            ("float32", FLOAT32),
+            ("FP32", FLOAT32),
+            ("fixed", FIXED16),
+            ("Fixed16", FIXED16),
+            ("int16", FIXED16),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert DataType.from_name(name) is expected
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            DataType.from_name("bfloat16")
+
+    def test_labels(self):
+        assert FLOAT32.label == "float32"
+        assert FIXED16.label == "fixed16"

@@ -1,0 +1,83 @@
+"""Tests for the design-level bandwidth allocation semantics."""
+
+import pytest
+
+from repro.core.clp import CLPConfig
+from repro.core.datatypes import FLOAT32
+from repro.core.design import MultiCLPDesign
+from repro.core.layer import ConvLayer
+from repro.core.network import Network
+
+
+@pytest.fixture
+def design():
+    l1 = ConvLayer("a", n=16, m=32, r=13, c=13, k=3)
+    l2 = ConvLayer("b", n=32, m=32, r=13, c=13, k=3)
+    net = Network("toy", [l1, l2])
+    clps = [
+        CLPConfig(4, 16, [l1], FLOAT32, [(13, 13)]),
+        CLPConfig(8, 16, [l2], FLOAT32, [(13, 13)]),
+    ]
+    return MultiCLPDesign(net, clps, FLOAT32)
+
+
+class TestEpochUnderBandwidth:
+    def test_unlimited_is_identity(self, design):
+        assert design.epoch_cycles_under_bandwidth(None) == design.epoch_cycles
+
+    def test_generous_cap_hits_slack_floor(self, design):
+        need = design.required_bandwidth_bytes_per_cycle()
+        epoch = design.epoch_cycles_under_bandwidth(need * 2)
+        assert epoch == pytest.approx(design.epoch_cycles * 1.02, rel=1e-6)
+
+    def test_requirement_is_consistent(self, design):
+        # At exactly the modelled requirement, the epoch stays within
+        # the 2% slack (the requirement is defined by that property).
+        need = design.required_bandwidth_bytes_per_cycle()
+        epoch = design.epoch_cycles_under_bandwidth(need * 1.0001)
+        assert epoch <= design.epoch_cycles * 1.02 * 1.001
+
+    def test_monotone_in_cap(self, design):
+        caps = [0.25, 0.5, 1.0, 2.0, 8.0, 64.0]
+        epochs = [design.epoch_cycles_under_bandwidth(c) for c in caps]
+        assert epochs == sorted(epochs, reverse=True)
+
+    def test_starved_cap_scales_inversely(self, design):
+        slow = design.epoch_cycles_under_bandwidth(0.25)
+        slower = design.epoch_cycles_under_bandwidth(0.125)
+        assert slower == pytest.approx(2 * slow, rel=0.1)
+
+    def test_rejects_nonpositive(self, design):
+        with pytest.raises(ValueError):
+            design.epoch_cycles_under_bandwidth(0.0)
+
+    def test_optimal_split_beats_equal_split(self, design):
+        # The bisection allocates the channel optimally: no CLP-uniform
+        # split can produce a shorter epoch.
+        cap = 1.0
+        optimal = design.epoch_cycles_under_bandwidth(cap)
+        equal = max(
+            clp.cycles_under_bandwidth(cap / len(design.clps))
+            for clp in design.clps
+        )
+        assert optimal <= equal * 1.001
+
+
+class TestRequiredBandwidth:
+    def test_sum_of_clp_needs(self, design):
+        target = design.epoch_cycles * 1.02
+        expected = sum(clp.min_bandwidth_for(target) for clp in design.clps)
+        assert design.required_bandwidth_bytes_per_cycle() == pytest.approx(
+            expected
+        )
+
+    def test_gbps_conversion(self, design):
+        per_cycle = design.required_bandwidth_bytes_per_cycle()
+        assert design.required_bandwidth_gbps(100.0) == pytest.approx(
+            per_cycle * 100e6 / 1e9
+        )
+
+    def test_looser_slack_needs_less(self, design):
+        tight = design.required_bandwidth_bytes_per_cycle(slack=0.01)
+        loose = design.required_bandwidth_bytes_per_cycle(slack=0.20)
+        assert loose <= tight

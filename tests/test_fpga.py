@@ -1,0 +1,85 @@
+"""Tests for the FPGA part catalog and budgets."""
+
+import pytest
+
+from repro.fpga.parts import (
+    PART_CATALOG,
+    FpgaPart,
+    ResourceBudget,
+    budget_for,
+    get_part,
+)
+
+
+class TestCatalog:
+    def test_485t_capacities(self):
+        part = get_part("485t")
+        assert part.dsp_slices == 2800
+        assert part.bram18k == 2060
+
+    def test_690t_capacities(self):
+        part = get_part("690t")
+        assert part.dsp_slices == 3600
+        assert part.bram18k == 2940
+
+    def test_ultrascale_parts_exist(self):
+        assert get_part("vu9p").dsp_slices == 6840
+        assert get_part("vu11p").dsp_slices == 9216
+
+    def test_name_normalization(self):
+        assert get_part("Virtex-7 485T") is PART_CATALOG["485t"]
+        assert get_part(" 690T ") is PART_CATALOG["690t"]
+
+    def test_unknown_part(self):
+        with pytest.raises(ValueError):
+            get_part("zynq7020")
+
+
+class TestBudgets:
+    def test_paper_budgets_485t(self):
+        # Section 6.1: 2,240 DSP and 1,648 BRAM on the 485T.
+        budget = budget_for("485t")
+        assert budget.dsp == 2240
+        assert budget.bram18k == 1648
+
+    def test_paper_budgets_690t(self):
+        # Section 6.1: 2,880 DSP and 2,352 BRAM on the 690T.
+        budget = budget_for("690t")
+        assert budget.dsp == 2880
+        assert budget.bram18k == 2352
+
+    def test_default_is_unconstrained_bandwidth(self):
+        assert budget_for("485t").bandwidth_gbps is None
+        assert budget_for("485t").bytes_per_cycle() is None
+
+    def test_bandwidth_conversion(self):
+        budget = budget_for("485t", bandwidth_gbps=1.6, frequency_mhz=100.0)
+        assert budget.bytes_per_cycle() == pytest.approx(16.0)
+
+    def test_frequency_override(self):
+        budget = budget_for("690t", frequency_mhz=170.0)
+        assert budget.cycles_per_second == pytest.approx(170e6)
+
+    def test_with_bandwidth(self):
+        base = budget_for("485t")
+        capped = base.with_bandwidth(2.0)
+        assert capped.bandwidth_gbps == 2.0
+        assert capped.dsp == base.dsp
+
+    def test_with_frequency(self):
+        fast = budget_for("485t").with_frequency(200.0)
+        assert fast.frequency_mhz == 200.0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            get_part("485t").budget(fraction=0)
+        with pytest.raises(ValueError):
+            get_part("485t").budget(fraction=1.5)
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            ResourceBudget(dsp=0, bram18k=100)
+        with pytest.raises(ValueError):
+            ResourceBudget(dsp=100, bram18k=100, bandwidth_gbps=-1)
+        with pytest.raises(ValueError):
+            ResourceBudget(dsp=100, bram18k=100, frequency_mhz=0)

@@ -1,0 +1,92 @@
+"""Tests for the layer-ordering heuristics."""
+
+import pytest
+
+from repro.core.layer import ConvLayer
+from repro.networks import alexnet, squeezenet
+from repro.opt.heuristics import (
+    ORDERINGS,
+    get_ordering,
+    order_by_compute_to_data,
+    order_by_nm_distance,
+    order_natural,
+)
+
+
+def small_layers():
+    return [
+        ConvLayer("a", n=3, m=48, r=55, c=55, k=11, s=4),
+        ConvLayer("b", n=256, m=192, r=13, c=13, k=3),
+        ConvLayer("c", n=4, m=50, r=30, c=30, k=3),
+    ]
+
+
+class TestNaturalOrder:
+    def test_identity(self):
+        layers = small_layers()
+        assert order_natural(layers) == layers
+
+    def test_copy_not_alias(self):
+        layers = small_layers()
+        result = order_natural(layers)
+        assert result is not layers
+
+
+class TestComputeToDataOrder:
+    def test_descending_ratio(self):
+        ordered = order_by_compute_to_data(small_layers())
+        ratios = [layer.compute_to_data_ratio for layer in ordered]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_is_permutation(self):
+        layers = small_layers()
+        assert sorted(l.name for l in order_by_compute_to_data(layers)) == [
+            "a", "b", "c"
+        ]
+
+
+class TestNMDistanceOrder:
+    def test_chain_groups_similar_layers(self):
+        # Layers a (3,48) and c (4,50) are near-identical in (N, M); they
+        # must end up adjacent, with the distant b (256,192) at one end.
+        ordered = order_by_nm_distance(small_layers())
+        names = [layer.name for layer in ordered]
+        assert abs(names.index("a") - names.index("c")) == 1
+
+    def test_starts_from_smallest_corner(self):
+        ordered = order_by_nm_distance(small_layers())
+        assert ordered[0].name == "a"  # smallest N+M
+
+    def test_is_permutation_on_real_network(self):
+        net = squeezenet()
+        ordered = order_by_nm_distance(list(net))
+        assert sorted(l.name for l in ordered) == sorted(
+            l.name for l in net
+        )
+
+    def test_alexnet_pairs_stay_adjacent(self):
+        # Both halves of each AlexNet stage have identical (N, M), so the
+        # chain must visit them back to back.
+        ordered = order_by_nm_distance(list(alexnet()))
+        names = [layer.name for layer in ordered]
+        for stage in range(1, 6):
+            a = names.index(f"conv{stage}a")
+            b = names.index(f"conv{stage}b")
+            assert abs(a - b) == 1
+
+    def test_empty(self):
+        assert order_by_nm_distance([]) == []
+
+    def test_deterministic(self):
+        layers = small_layers()
+        assert order_by_nm_distance(layers) == order_by_nm_distance(layers)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_lookup(self, name):
+        assert get_ordering(name) is ORDERINGS[name]
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_ordering("alphabetical")

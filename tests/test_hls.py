@@ -1,0 +1,146 @@
+"""Tests for HLS template generation and the virtual toolflow."""
+
+import pytest
+
+from repro.core.clp import CLPConfig
+from repro.core.datatypes import FIXED16, FLOAT32
+from repro.core.layer import ConvLayer
+from repro.analysis.tables import design_for
+from repro.hls.synthesis import implement_clp, implement_design
+from repro.hls.template import (
+    LayerDescriptor,
+    generate_clp_source,
+    generate_system,
+    layer_descriptor,
+    template_parameters,
+)
+
+
+@pytest.fixture
+def clp():
+    layers = [
+        ConvLayer("a", n=16, m=48, r=13, c=13, k=3),
+        ConvLayer("b", n=48, m=64, r=13, c=13, k=5),
+    ]
+    return CLPConfig(4, 16, layers, FLOAT32, [(13, 13), (13, 13)])
+
+
+class TestTemplateParameters:
+    def test_grid(self, clp):
+        p = template_parameters(clp)
+        assert (p.tn, p.tm) == (4, 16)
+
+    def test_buffer_sizing_tracks_worst_layer(self, clp):
+        p = template_parameters(clp)
+        assert p.k_max == 5
+        assert p.m_max == 64
+        assert p.insize == 17 * 17  # (13-1)*1+5 squared
+        assert p.outsize == 169
+
+    def test_port_counts_positive(self, clp):
+        p = template_parameters(clp)
+        assert p.np_ports >= 1 and p.wp_ports >= 1 and p.mp_ports >= 1
+
+
+class TestLayerDescriptor:
+    def test_round_trip(self, clp):
+        desc = layer_descriptor(clp, "b")
+        assert desc.pack() == LayerDescriptor.unpack(desc.pack()).pack()
+
+    def test_is_32_bytes(self, clp):
+        assert len(layer_descriptor(clp, "a").pack()) == 32
+
+    def test_steps(self, clp):
+        desc = layer_descriptor(clp, "a")
+        rsteps, csteps, msteps, nsteps = desc.steps(clp.tn, clp.tm)
+        assert (rsteps, csteps) == (1, 1)
+        assert msteps == 3  # ceil(48/16)
+        assert nsteps == 4  # ceil(16/4)
+
+    def test_unknown_layer(self, clp):
+        with pytest.raises(KeyError):
+            layer_descriptor(clp, "zzz")
+
+    def test_unpack_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            LayerDescriptor.unpack(b"\x00" * 30)
+
+
+class TestSourceGeneration:
+    def test_parameters_embedded(self, clp):
+        source = generate_clp_source(clp, name="clp7")
+        assert "#define TN 4" in source
+        assert "#define TM 16" in source
+        assert "#define KMAX 5" in source
+        assert "void clp7(" in source
+
+    def test_float_type(self, clp):
+        assert "typedef float data_t;" in generate_clp_source(clp)
+
+    def test_fixed_type(self):
+        layer = ConvLayer("a", n=8, m=8, r=8, c=8, k=3)
+        clp = CLPConfig(2, 4, [layer], FIXED16)
+        assert "ap_fixed<16, 8>" in generate_clp_source(clp)
+
+    def test_braces_balanced(self, clp):
+        source = generate_clp_source(clp)
+        assert source.count("{") == source.count("}")
+
+    def test_pragmas_present(self, clp):
+        source = generate_clp_source(clp)
+        for pragma in ("DATAFLOW", "PIPELINE", "UNROLL", "ARRAY_PARTITION"):
+            assert pragma in source
+
+    def test_system_lists_all_clps_and_descriptors(self):
+        design = design_for("alexnet", "485t", "float32", single=False)
+        manifest = generate_system(design)
+        for index in range(design.num_clps):
+            assert f"clp{index}:" in manifest
+        for layer in design.network:
+            assert f"descriptor {layer.name}:" in manifest
+
+
+class TestVirtualToolflow:
+    def test_impl_exceeds_model(self, clp):
+        impl = implement_clp(clp)
+        assert impl.dsp_impl > impl.dsp_model
+        assert impl.bram_impl > impl.bram_model
+
+    def test_compute_module_dsps_match_model(self, clp):
+        # Section 6.4: the compute-module DSP count matches exactly; the
+        # overhead is control logic only.
+        impl = implement_clp(clp)
+        assert impl.dsp_model == clp.dsp
+        assert 40 <= impl.dsp_overhead <= 120
+
+    def test_fixed_point_overheads_larger(self):
+        layer = ConvLayer("a", n=32, m=64, r=14, c=14, k=3)
+        f32 = implement_clp(CLPConfig(8, 32, [layer], FLOAT32))
+        f16 = implement_clp(CLPConfig(8, 32, [layer], FIXED16))
+        assert f16.dsp_overhead > f32.dsp_overhead
+
+    def test_design_totals_are_clp_sums(self):
+        design = design_for("alexnet", "485t", "float32", single=False)
+        impl = implement_design(design)
+        assert impl.dsp_impl == sum(c.dsp_impl for c in impl.clps)
+        assert impl.bram_impl == sum(c.bram_impl for c in impl.clps)
+
+    def test_table8_485t_single_clp_calibration(self):
+        # Our virtual toolflow should land near the paper's Vivado
+        # numbers for the reference design (Table 8, 485T Single-CLP).
+        design = design_for("alexnet", "485t", "float32", single=True)
+        impl = implement_design(design)
+        assert impl.dsp_impl == pytest.approx(2309, rel=0.03)
+        assert impl.bram_impl == pytest.approx(698, rel=0.10)
+        assert impl.flip_flops == pytest.approx(219815, rel=0.10)
+        assert impl.luts == pytest.approx(146325, rel=0.10)
+        assert impl.power_watts == pytest.approx(6.6, rel=0.15)
+
+    def test_utilization_percentages(self):
+        from repro.fpga.parts import get_part
+
+        design = design_for("alexnet", "485t", "float32", single=True)
+        impl = implement_design(design)
+        util = impl.utilization_of(get_part("485t"))
+        assert 0 < util["DSP"] < 1
+        assert set(util) == {"DSP", "BRAM-18K", "FF", "LUT"}

@@ -1,0 +1,82 @@
+"""Tests for the int8 extension (fractional DSP-per-MAC datatype).
+
+Not evaluated in the paper, but a direct consequence of its scaling
+argument (Section 6.2): packing two MACs per DSP slice doubles the
+arithmetic units a budget buys, widening the Single-CLP mismatch that
+Multi-CLP partitioning repairs.
+"""
+
+import pytest
+
+from repro.core.cost_model import dsp_count, max_units_for_budget
+from repro.core.datatypes import FIXED16, FLOAT32, INT8, DataType
+from repro.core.layer import ConvLayer
+from repro.core.cost_model import bram_breakdown, buffer_spec
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet
+from repro.opt import optimize_multi_clp, optimize_single_clp
+
+
+class TestInt8Datatype:
+    def test_lookup(self):
+        assert DataType.from_name("int8") is INT8
+        assert DataType.from_name("fixed8") is INT8
+
+    def test_half_dsp_per_mac(self):
+        assert INT8.dsp_per_mac == 0.5
+
+    def test_word_size(self):
+        assert INT8.word_bytes == 1
+        assert INT8.words_per_bram_entry == 4
+
+
+class TestInt8DspModel:
+    def test_even_units(self):
+        assert dsp_count(4, 8, INT8) == 16
+
+    def test_odd_units_round_up(self):
+        assert dsp_count(3, 3, INT8) == 5  # ceil(9/2)
+
+    def test_budget_doubles_units(self):
+        assert max_units_for_budget(2880, INT8) == 2 * max_units_for_budget(
+            2880, FIXED16
+        )
+
+    def test_int8_never_more_than_fixed16(self):
+        for tn, tm in [(1, 1), (3, 7), (16, 64), (9, 13)]:
+            assert dsp_count(tn, tm, INT8) <= dsp_count(tn, tm, FIXED16)
+
+
+class TestInt8BramModel:
+    def test_four_way_bank_packing(self):
+        layer = ConvLayer("l", n=8, m=8, r=30, c=30, k=5)
+        spec = buffer_spec([layer], [(30, 30)])
+        in_f32, _, out_f32 = bram_breakdown(8, 8, spec, FLOAT32)
+        in_i8, _, out_i8 = bram_breakdown(8, 8, spec, INT8)
+        assert in_i8 * 4 == in_f32
+        assert out_i8 * 4 == out_f32
+
+
+class TestInt8EndToEnd:
+    def test_single_clp_utilization_collapses_further(self):
+        # More units than fixed16 -> even lower Single-CLP utilization
+        # (the Section 6.2 scaling trend extended by one step).
+        budget = budget_for("690t")
+        fixed = optimize_single_clp(alexnet(), budget, FIXED16)
+        int8 = optimize_single_clp(alexnet(), budget, INT8)
+        assert (
+            int8.arithmetic_utilization < fixed.arithmetic_utilization
+        )
+
+    def test_multi_clp_recovers(self):
+        budget = budget_for("690t")
+        single = optimize_single_clp(alexnet(), budget, INT8)
+        multi = optimize_multi_clp(alexnet(), budget, INT8)
+        assert multi.epoch_cycles < single.epoch_cycles
+        assert multi.arithmetic_utilization > 0.85
+
+    def test_budget_respected(self):
+        budget = budget_for("485t")
+        design = optimize_multi_clp(alexnet(), budget, INT8)
+        assert design.dsp <= budget.dsp
+        assert design.bram <= budget.bram18k

@@ -1,0 +1,124 @@
+"""Tests for joint multi-CNN and latency-constrained optimization."""
+
+import pytest
+
+from repro.core.datatypes import FIXED16, FLOAT32
+from repro.core.schedule import build_schedule
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet, squeezenet
+from repro.opt import (
+    combine_networks,
+    latency_throughput_frontier,
+    optimize_joint,
+    optimize_latency_constrained,
+    optimize_multi_clp,
+)
+
+
+class TestCombineNetworks:
+    def test_layer_count(self):
+        combined = combine_networks([alexnet(), squeezenet()])
+        assert len(combined) == 10 + 26
+
+    def test_names_are_namespaced(self):
+        combined = combine_networks([alexnet(), squeezenet()])
+        assert combined.layer_by_name("AlexNet::conv1a").n == 3
+        assert combined.layer_by_name("SqueezeNet::conv10").m == 1000
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            combine_networks([alexnet(), alexnet()])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            combine_networks([])
+
+
+class TestOptimizeJoint:
+    @pytest.fixture(scope="class")
+    def joint(self):
+        return optimize_joint(
+            [alexnet(), squeezenet()], budget_for("690t"), FIXED16
+        )
+
+    def test_covers_both_networks(self, joint):
+        for network_name in ("AlexNet", "SqueezeNet"):
+            assert joint.clps_serving(network_name)
+
+    def test_fits_budget(self, joint):
+        budget = budget_for("690t")
+        assert joint.design.dsp <= budget.dsp
+        assert joint.design.bram <= budget.bram18k
+
+    def test_throughput_per_network(self, joint):
+        rates = joint.throughput_per_network(170.0)
+        assert set(rates) == {"AlexNet", "SqueezeNet"}
+        assert all(rate > 0 for rate in rates.values())
+
+    def test_epoch_covers_combined_work(self, joint):
+        # Serving both networks takes longer than serving AlexNet alone.
+        alex_only = optimize_multi_clp(
+            alexnet(), budget_for("690t"), FIXED16
+        )
+        assert joint.epoch_cycles > alex_only.epoch_cycles
+
+    def test_describe(self, joint):
+        text = joint.describe()
+        assert "AlexNet" in text and "SqueezeNet" in text
+
+
+class TestLatencyConstrained:
+    def test_assignment_is_adjacent(self):
+        design = optimize_latency_constrained(
+            alexnet(), budget_for("485t"), FLOAT32
+        )
+        assert design.has_adjacent_assignment
+        assert design.pipeline_depth_images == design.num_clps
+
+    def test_latency_below_general_design(self):
+        budget = budget_for("485t")
+        general = optimize_multi_clp(alexnet(), budget, FLOAT32)
+        latency = optimize_latency_constrained(alexnet(), budget, FLOAT32)
+        # General designs keep one image per *layer* in flight.
+        assert latency.latency_cycles() < general.pipeline_depth_images * (
+            general.epoch_cycles
+        )
+
+    def test_adjacent_schedule_mode(self):
+        design = optimize_latency_constrained(
+            alexnet(), budget_for("485t"), FLOAT32, max_clps=3
+        )
+        schedule = build_schedule(design, epochs=4, mode="adjacent")
+        assert schedule.pipeline_depth == design.num_clps
+        # Every layer an image needs in an epoch stays on one CLP.
+        for entry in schedule.entries:
+            assert entry.image_index >= 0
+
+    def test_general_design_rejects_adjacent_mode(self):
+        # nm-distance ordering reorders layers, breaking adjacency for
+        # AlexNet multi-CLP designs on the 690T (conv5 before conv3).
+        design = optimize_multi_clp(
+            alexnet(), budget_for("690t"), FLOAT32
+        )
+        if not design.has_adjacent_assignment:
+            with pytest.raises(ValueError):
+                build_schedule(design, epochs=2, mode="adjacent")
+
+    def test_frontier_shape(self):
+        frontier = latency_throughput_frontier(
+            alexnet(), budget_for("485t"), FLOAT32, max_clps=3
+        )
+        assert len(frontier) == 3
+        caps = [cap for cap, _, _ in frontier]
+        assert caps == [1, 2, 3]
+        epochs = [epoch for _, _, epoch in frontier]
+        # More CLPs never lengthen the epoch.
+        assert all(b <= a for a, b in zip(epochs, epochs[1:]))
+
+    def test_throughput_cost_of_latency_mode(self):
+        # Constraining to natural order can cost throughput vs the free
+        # ordering, but never helps.
+        budget = budget_for("690t")
+        free = optimize_multi_clp(alexnet(), budget, FLOAT32)
+        constrained = optimize_latency_constrained(alexnet(), budget, FLOAT32)
+        assert constrained.epoch_cycles >= free.epoch_cycles

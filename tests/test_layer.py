@@ -1,0 +1,121 @@
+"""Unit tests for the ConvLayer description."""
+
+import pytest
+
+from repro.core.layer import ConvLayer, input_extent
+
+
+def make_layer(**overrides):
+    base = dict(name="conv", n=48, m=128, r=27, c=27, k=5, s=1)
+    base.update(overrides)
+    return ConvLayer(**base)
+
+
+class TestInputExtent:
+    def test_stride_one(self):
+        assert input_extent(13, 1, 3) == 15
+
+    def test_strided(self):
+        assert input_extent(8, 4, 11) == 39
+
+    def test_single_output(self):
+        assert input_extent(1, 4, 11) == 11
+
+    def test_rejects_nonpositive_tile(self):
+        with pytest.raises(ValueError):
+            input_extent(0, 1, 3)
+
+
+class TestConvLayerSizes:
+    def test_input_rows_cols(self):
+        layer = make_layer(r=55, c=55, k=11, s=4)
+        assert layer.input_rows == 227
+        assert layer.input_cols == 227
+
+    def test_input_words(self):
+        layer = make_layer(n=3, r=55, c=55, k=11, s=4)
+        assert layer.input_words == 3 * 227 * 227
+
+    def test_output_words(self):
+        layer = make_layer(m=96, r=55, c=55)
+        assert layer.output_words == 96 * 55 * 55
+
+    def test_weight_words(self):
+        layer = make_layer(n=48, m=128, k=5)
+        assert layer.weight_words == 128 * 48 * 25
+
+    def test_total_words_is_sum(self):
+        layer = make_layer()
+        assert layer.total_words == (
+            layer.input_words + layer.output_words + layer.weight_words
+        )
+
+
+class TestConvLayerWork:
+    def test_macs(self):
+        layer = make_layer(n=3, m=48, r=55, c=55, k=11)
+        assert layer.macs == 3 * 48 * 55 * 55 * 121
+
+    def test_flops_twice_macs(self):
+        layer = make_layer()
+        assert layer.flops == 2 * layer.macs
+
+    def test_compute_to_data_ratio(self):
+        layer = make_layer()
+        assert layer.compute_to_data_ratio == pytest.approx(
+            layer.macs / layer.total_words
+        )
+
+
+class TestConvLayerValidation:
+    @pytest.mark.parametrize("field", ["n", "m", "r", "c", "k", "s"])
+    def test_rejects_nonpositive(self, field):
+        with pytest.raises(ValueError):
+            make_layer(**{field: 0})
+
+    @pytest.mark.parametrize("field", ["n", "m", "r", "c", "k", "s"])
+    def test_rejects_negative(self, field):
+        with pytest.raises(ValueError):
+            make_layer(**{field: -3})
+
+    def test_rejects_float_dimension(self):
+        with pytest.raises(ValueError):
+            make_layer(n=3.5)
+
+    def test_frozen(self):
+        layer = make_layer()
+        with pytest.raises(AttributeError):
+            layer.n = 10
+
+
+class TestConvLayerUtilities:
+    def test_with_name(self):
+        layer = make_layer()
+        renamed = layer.with_name("other")
+        assert renamed.name == "other"
+        assert renamed.dims == layer.dims
+
+    def test_split_outputs_halves_m(self):
+        layer = make_layer(m=128)
+        halves = list(layer.split_outputs(2))
+        assert [h.m for h in halves] == [64, 64]
+        assert [h.name for h in halves] == ["conva", "convb"]
+        assert all(h.n == layer.n for h in halves)
+
+    def test_split_outputs_rejects_uneven(self):
+        layer = make_layer(m=10)
+        with pytest.raises(ValueError):
+            list(layer.split_outputs(3))
+
+    def test_dims_tuple_order(self):
+        layer = make_layer(n=1, m=2, r=3, c=4, k=5, s=6)
+        # (N, M, R, C, K, S) -- but R >= 1 requires sensible values.
+        assert layer.dims == (1, 2, 3, 4, 5, 6)
+
+    def test_describe_mentions_name_and_dims(self):
+        text = make_layer().describe()
+        assert "conv" in text
+        assert "N=48" in text
+
+    def test_hashable(self):
+        assert len({make_layer(), make_layer()}) == 1

@@ -1,0 +1,149 @@
+"""Tests for OptimizeMemory's internal machinery."""
+
+import pytest
+
+from repro.core.datatypes import FLOAT32
+from repro.core.layer import ConvLayer
+from repro.opt.compute import CLPCandidate, PartitionCandidate
+from repro.opt.memory import (
+    MAX_CAPS,
+    MAX_CURVE_POINTS,
+    _merge_curves,
+    _sample,
+    _tile_sizes,
+    TilePoint,
+    optimize_memory,
+)
+
+
+class TestTileSizes:
+    def test_contains_full_extent(self):
+        assert 55 in _tile_sizes(55)
+
+    def test_contains_one(self):
+        assert 1 in _tile_sizes(55)
+
+    def test_all_are_step_changing(self):
+        # Every value must be ceil(55/i) for some i.
+        from math import ceil
+
+        valid = {ceil(55 / i) for i in range(1, 56)}
+        assert set(_tile_sizes(55)) <= valid
+
+    def test_sorted_unique(self):
+        sizes = _tile_sizes(224)
+        assert sizes == sorted(set(sizes))
+
+    def test_sqrt_scale(self):
+        # O(sqrt(extent)) values, not O(extent).
+        assert len(_tile_sizes(224)) < 40
+
+    def test_extent_one(self):
+        assert _tile_sizes(1) == [1]
+
+
+class TestSample:
+    def test_short_list_unchanged(self):
+        assert _sample([1, 2, 3], 10) == [1, 2, 3]
+
+    def test_long_list_capped(self):
+        values = list(range(1000))
+        picked = _sample(values, MAX_CAPS)
+        assert len(picked) <= MAX_CAPS
+        assert picked[0] == 0
+        assert picked[-1] == 999
+
+    def test_preserves_order(self):
+        picked = _sample(list(range(100)), 7)
+        assert picked == sorted(picked)
+
+
+class TestMergeCurves:
+    def _point(self, bram, bw):
+        return TilePoint(bram=bram, bandwidth_bytes_per_cycle=bw, tile_plans=())
+
+    def test_single_curve_passthrough(self):
+        curve = [self._point(10, 5.0), self._point(20, 2.0)]
+        merged = _merge_curves([curve])
+        assert [(b, w) for b, w, _ in merged] == [(10, 5.0), (20, 2.0)]
+
+    def test_two_curves_sum(self):
+        a = [self._point(10, 4.0)]
+        b = [self._point(5, 1.0)]
+        merged = _merge_curves([a, b])
+        assert merged == [(15, 5.0, (0, 0))]
+
+    def test_dominated_combinations_pruned(self):
+        a = [self._point(10, 4.0), self._point(20, 3.0)]
+        b = [self._point(10, 4.0), self._point(20, 1.0)]
+        merged = _merge_curves([a, b])
+        brams = [b_ for b_, _, _ in merged]
+        bws = [w for _, w, _ in merged]
+        assert brams == sorted(brams)
+        assert bws == sorted(bws, reverse=True)
+
+    def test_size_cap(self):
+        big = [self._point(i, 1000.0 - i) for i in range(400)]
+        merged = _merge_curves([big, big])
+        assert len(merged) <= MAX_CURVE_POINTS + 1
+
+    def test_choice_indices_reference_curves(self):
+        a = [self._point(10, 4.0), self._point(20, 3.0)]
+        b = [self._point(5, 2.0)]
+        for bram, bw, choice in _merge_curves([a, b]):
+            assert len(choice) == 2
+            assert 0 <= choice[0] < len(a)
+            assert choice[1] == 0
+
+
+class TestOptimizeMemoryChoices:
+    def _partition(self):
+        layer = ConvLayer("l", n=48, m=128, r=27, c=27, k=5)
+        cycles = 27 * 27 * 7 * 2 * 25
+        return PartitionCandidate(
+            clps=(
+                CLPCandidate(
+                    tn=7, tm=64, layers=(layer,), cycles=cycles, dsp=2240
+                ),
+            )
+        )
+
+    def test_unconstrained_picks_min_bandwidth(self):
+        partition = self._partition()
+        generous = optimize_memory(
+            partition, FLOAT32, bram_budget=10**6,
+            cycle_target=partition.epoch_cycles,
+        )
+        tight = optimize_memory(
+            partition, FLOAT32, bram_budget=600,
+            cycle_target=partition.epoch_cycles,
+        )
+        assert (
+            generous.total_bandwidth_bytes_per_cycle
+            <= tight.total_bandwidth_bytes_per_cycle
+        )
+
+    def test_bandwidth_budget_picks_min_bram(self):
+        partition = self._partition()
+        unconstrained = optimize_memory(
+            partition, FLOAT32, bram_budget=10**6,
+            cycle_target=partition.epoch_cycles,
+        )
+        loose_bw = unconstrained.total_bandwidth_bytes_per_cycle * 4
+        budgeted = optimize_memory(
+            partition, FLOAT32, bram_budget=10**6,
+            cycle_target=partition.epoch_cycles,
+            bandwidth_budget_bytes_per_cycle=loose_bw,
+        )
+        assert budgeted.total_bram <= unconstrained.total_bram
+
+    def test_tile_plans_are_valid(self):
+        partition = self._partition()
+        solution = optimize_memory(
+            partition, FLOAT32, bram_budget=10**6,
+            cycle_target=partition.epoch_cycles,
+        )
+        layer = partition.clps[0].layers[0]
+        for tr, tc in solution.plans[0].point.tile_plans:
+            assert 1 <= tr <= layer.r
+            assert 1 <= tc <= layer.c

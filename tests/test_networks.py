@@ -1,0 +1,173 @@
+"""Tests for the network zoo against published architecture dimensions."""
+
+import pytest
+
+from repro.core.network import Network
+from repro.core.layer import ConvLayer
+from repro.networks import (
+    alexnet,
+    available_networks,
+    get_network,
+    googlenet,
+    squeezenet,
+    vggnet_e,
+)
+
+
+class TestAlexNet:
+    def test_ten_layers(self):
+        assert len(alexnet()) == 10
+
+    def test_layer_names_are_paired_halves(self):
+        names = [layer.name for layer in alexnet()]
+        assert names == [
+            "conv1a", "conv1b", "conv2a", "conv2b", "conv3a",
+            "conv3b", "conv4a", "conv4b", "conv5a", "conv5b",
+        ]
+
+    def test_conv1_dimensions(self):
+        layer = alexnet().layer_by_name("conv1a")
+        # Section 6.2: AlexNet layer 1 has N, M = 3, 48.
+        assert layer.dims == (3, 48, 55, 55, 11, 4)
+
+    def test_conv3_sees_all_inputs(self):
+        layer = alexnet().layer_by_name("conv3a")
+        assert layer.n == 256
+        assert layer.m == 192
+
+    def test_grouped_stages_see_half_inputs(self):
+        net = alexnet()
+        assert net.layer_by_name("conv2a").n == 48
+        assert net.layer_by_name("conv4a").n == 192
+        assert net.layer_by_name("conv5a").n == 192
+
+    def test_total_macs_matches_known_conv_workload(self):
+        # AlexNet convolutional layers are ~0.666 GMACs (1.33 GFLOPs).
+        assert alexnet().total_macs == pytest.approx(666e6, rel=0.01)
+
+
+class TestVGGNetE:
+    def test_sixteen_layers(self):
+        assert len(vggnet_e()) == 16
+
+    def test_all_3x3_stride_1(self):
+        for layer in vggnet_e():
+            assert layer.k == 3
+            assert layer.s == 1
+
+    def test_first_and_last(self):
+        net = vggnet_e()
+        assert net[0].dims == (3, 64, 224, 224, 3, 1)
+        assert net[-1].dims == (512, 512, 14, 14, 3, 1)
+
+    def test_total_macs_matches_known_workload(self):
+        # VGG-19 conv layers are ~19.5 GMACs (39 GFLOPs).
+        assert vggnet_e().total_macs == pytest.approx(19.5e9, rel=0.02)
+
+    def test_channel_chaining(self):
+        net = vggnet_e()
+        for prev, cur in zip(net.layers, net.layers[1:]):
+            # Within a block, N of the next layer equals M of the previous.
+            if prev.r == cur.r:
+                assert cur.n == prev.m
+
+
+class TestSqueezeNet:
+    def test_twenty_six_layers(self):
+        assert len(squeezenet()) == 26
+
+    def test_layer1_matches_paper(self):
+        # Section 3.2: layer one has N, M = 3, 64.
+        layer = squeezenet()[0]
+        assert (layer.n, layer.m) == (3, 64)
+
+    def test_layer2_matches_paper(self):
+        # Section 3.2: layer two has N, M = 64, 16.
+        layer = squeezenet()[1]
+        assert (layer.n, layer.m) == (64, 16)
+        assert layer.name == "fire2/squeeze1x1"
+
+    def test_fire_module_structure(self):
+        net = squeezenet()
+        squeeze = net.layer_by_name("fire4/squeeze1x1")
+        e1 = net.layer_by_name("fire4/expand1x1")
+        e3 = net.layer_by_name("fire4/expand3x3")
+        assert squeeze.m == e1.n == e3.n == 32
+        assert e1.m == e3.m == 128
+        assert e3.k == 3 and e1.k == 1
+
+    def test_classifier(self):
+        layer = squeezenet()[-1]
+        assert layer.name == "conv10"
+        assert (layer.n, layer.m, layer.k) == (512, 1000, 1)
+
+
+class TestGoogLeNet:
+    def test_fifty_seven_layers(self):
+        assert len(googlenet()) == 57
+
+    def test_stem(self):
+        net = googlenet()
+        assert net[0].dims == (3, 64, 112, 112, 7, 2)
+        assert net[2].dims == (64, 192, 56, 56, 3, 1)
+
+    def test_inception_3a(self):
+        net = googlenet()
+        assert net.layer_by_name("inception_3a/1x1").m == 64
+        assert net.layer_by_name("inception_3a/3x3").dims == (
+            96, 128, 28, 28, 3, 1
+        )
+        assert net.layer_by_name("inception_3a/5x5").k == 5
+
+    def test_output_channels_chain_between_modules(self):
+        net = googlenet()
+        # inception_3a outputs 64+128+32+32 = 256 channels, feeding 3b.
+        assert net.layer_by_name("inception_3b/1x1").n == 256
+
+    def test_total_macs_matches_known_workload(self):
+        # GoogLeNet conv layers are ~1.58 GMACs.
+        assert googlenet().total_macs == pytest.approx(1.58e9, rel=0.05)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["alexnet", "vggnet-e", "squeezenet", "googlenet"])
+    def test_get_network(self, name):
+        assert get_network(name).name.lower().replace("-", "") \
+            .startswith(name.split("-")[0][:6])
+
+    def test_case_insensitive(self):
+        assert get_network("AlexNet").name == "AlexNet"
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            get_network("resnet")
+
+    def test_available_networks(self):
+        assert set(available_networks()) == {
+            "alexnet", "vggnet-e", "squeezenet", "googlenet"
+        }
+
+
+class TestNetworkContainer:
+    def test_duplicate_names_rejected(self):
+        layer = ConvLayer("x", 1, 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            Network("bad", [layer, layer])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Network("empty", [])
+
+    def test_index_of(self):
+        net = alexnet()
+        assert net.index_of("conv3a") == 4
+        with pytest.raises(KeyError):
+            net.index_of("nope")
+
+    def test_iteration_order(self):
+        net = alexnet()
+        assert [l.name for l in net] == list(net.layer_by_name(n).name for n in
+                                             [l.name for l in net.layers])
+
+    def test_describe(self):
+        assert "AlexNet" in alexnet().describe()

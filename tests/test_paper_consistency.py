@@ -1,0 +1,178 @@
+"""Cross-checks between the paper's published numbers and our models.
+
+These tests treat `repro.analysis.paper_data` as data and our cost
+models as the oracle: every configuration the paper publishes must be
+*internally consistent* under the models (cycle counts recompute from
+(Tn, Tm) and the layer dimensions; DSP sums fit the stated budgets).
+Passing means the transcription is faithful AND the models describe the
+same machine the authors measured.
+"""
+
+import pytest
+
+from repro.analysis import paper_data
+from repro.core.cost_model import dsp_count, layer_cycles
+from repro.core.datatypes import FIXED16, FLOAT32
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet, squeezenet
+
+
+@pytest.fixture(scope="module")
+def anet():
+    return alexnet()
+
+
+class TestTable2Consistency:
+    @pytest.mark.parametrize(
+        "scenario", ["485t_single", "690t_single", "485t_multi", "690t_multi"]
+    )
+    def test_cycles_recompute_from_model(self, anet, scenario):
+        for config in paper_data.TABLE2_CONFIGS[scenario]:
+            cycles = sum(
+                layer_cycles(anet.layer_by_name(name), config.tn, config.tm)
+                for name in config.layers
+            )
+            assert round(cycles / 1000) == config.cycles_k, (
+                scenario, config.layers
+            )
+
+    @pytest.mark.parametrize(
+        "scenario,part", [("485t_multi", "485t"), ("690t_multi", "690t")]
+    )
+    def test_dsp_fits_budget(self, scenario, part):
+        budget = budget_for(part)
+        total = sum(
+            dsp_count(c.tn, c.tm, FLOAT32)
+            for c in paper_data.TABLE2_CONFIGS[scenario]
+        )
+        assert total <= budget.dsp
+
+    def test_multi_epoch_is_max_of_clps(self):
+        for scenario in ("485t_multi", "690t_multi"):
+            configs = paper_data.TABLE2_CONFIGS[scenario]
+            epoch = max(c.cycles_k for c in configs)
+            assert epoch == paper_data.TABLE2_OVERALL_CYCLES_K[scenario]
+
+    def test_single_overall_is_sum(self):
+        for scenario in ("485t_single", "690t_single"):
+            configs = paper_data.TABLE2_CONFIGS[scenario]
+            # Stage rows share one CLP; the overall count is their sum.
+            assert (
+                abs(
+                    sum(c.cycles_k for c in configs)
+                    - paper_data.TABLE2_OVERALL_CYCLES_K[scenario]
+                )
+                <= 2  # rounding of the per-stage thousands
+            )
+
+    def test_multi_covers_alexnet_exactly_once(self, anet):
+        for scenario in ("485t_multi", "690t_multi"):
+            covered = [
+                name
+                for c in paper_data.TABLE2_CONFIGS[scenario]
+                for name in c.layers
+            ]
+            assert sorted(covered) == sorted(l.name for l in anet)
+
+
+class TestTable4Consistency:
+    @pytest.mark.parametrize(
+        "scenario,part",
+        [("485t_single", "485t"), ("690t_single", "690t"),
+         ("485t_multi", "485t"), ("690t_multi", "690t")],
+    )
+    def test_dsp_fits_budget(self, scenario, part):
+        budget = budget_for(part)
+        total = sum(
+            dsp_count(c.tn, c.tm, FIXED16)
+            for c in paper_data.TABLE4_CONFIGS[scenario]
+        )
+        assert total <= budget.dsp
+
+    def test_single_clp_cycles_match_model(self):
+        # The paper does not list per-layer assignments for SqueezeNet,
+        # but Single-CLP cycles are fully determined by (Tn, Tm).
+        net = squeezenet()
+        for scenario in ("485t_single", "690t_single"):
+            (config,) = paper_data.TABLE4_CONFIGS[scenario]
+            cycles = sum(
+                layer_cycles(layer, config.tn, config.tm) for layer in net
+            )
+            assert round(cycles / 1000) == pytest.approx(
+                config.cycles_k, abs=2
+            )
+
+
+class TestTable3And5Consistency:
+    def test_table3_dsp_is_five_per_unit(self):
+        for (part, kind), row in paper_data.TABLE3_RESOURCES.items():
+            assert row.dsp % 5 == 0  # float32 MACs cost 5 slices
+
+    def test_gops_is_throughput_times_work(self):
+        flops = alexnet().total_flops
+        for row in paper_data.TABLE3_RESOURCES.values():
+            assert row.gops == pytest.approx(
+                row.throughput * flops / 1e9, rel=0.02
+            )
+
+    def test_table5_gops_consistent(self):
+        ops = squeezenet().total_flops
+        for row in paper_data.TABLE5_RESOURCES.values():
+            assert row.gops == pytest.approx(
+                row.throughput * ops / 1e9, rel=0.05
+            )
+
+    def test_multi_always_beats_single(self):
+        for table in (paper_data.TABLE3_RESOURCES, paper_data.TABLE5_RESOURCES):
+            for part in ("485t", "690t"):
+                assert (
+                    table[(part, "multi")].throughput
+                    > table[(part, "single")].throughput
+                )
+
+
+class TestTables6to9Consistency:
+    def test_impl_never_below_model(self):
+        for table in (
+            paper_data.TABLE6_MODEL_VS_IMPL,
+            paper_data.TABLE7_MODEL_VS_IMPL,
+        ):
+            for rows in table.values():
+                for row in rows:
+                    assert row.dsp_impl >= row.dsp_model
+                    assert row.bram_impl >= row.bram_model
+
+    def test_table6_single_matches_table3(self):
+        row = paper_data.TABLE6_MODEL_VS_IMPL["485t_single"][0]
+        table3 = paper_data.TABLE3_RESOURCES[("485t", "single")]
+        assert row.dsp_model == table3.dsp
+        assert row.bram_model == table3.bram
+
+    def test_table8_matches_table6_totals(self):
+        t8 = paper_data.TABLE8_RESOURCES["485t_single"]
+        t6 = paper_data.TABLE6_MODEL_VS_IMPL["485t_single"][0]
+        assert t8.dsp == t6.dsp_impl
+        assert t8.bram == t6.bram_impl
+
+    def test_table9_matches_table7_totals(self):
+        t9 = paper_data.TABLE9_RESOURCES["690t_multi"]
+        rows = paper_data.TABLE7_MODEL_VS_IMPL["690t_multi"]
+        assert t9.dsp == pytest.approx(sum(r.dsp_impl for r in rows), abs=15)
+        assert t9.bram == sum(r.bram_impl for r in rows)
+
+
+class TestSection32Consistency:
+    def test_quoted_utilizations_recompute(self):
+        from repro.core.utilization import layer_utilization, clp_utilization
+
+        net = squeezenet()
+        tn, tm = paper_data.SECTION32_UTILIZATION["grid"]
+        assert layer_utilization(net[0], tn, tm) == pytest.approx(
+            paper_data.SECTION32_UTILIZATION["layer1"], abs=0.001
+        )
+        assert layer_utilization(net[1], tn, tm) == pytest.approx(
+            paper_data.SECTION32_UTILIZATION["layer2"], abs=0.001
+        )
+        assert clp_utilization(list(net), tn, tm) == pytest.approx(
+            paper_data.SECTION32_UTILIZATION["overall"], abs=0.001
+        )

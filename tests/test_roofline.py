@@ -1,0 +1,66 @@
+"""Tests for the roofline / CTC analysis."""
+
+import pytest
+
+from repro.analysis.roofline import roofline_point, roofline_table
+from repro.analysis.tables import design_for
+
+
+@pytest.fixture(scope="module")
+def single():
+    return design_for("alexnet", "485t", "float32", single=True)
+
+
+@pytest.fixture(scope="module")
+def multi():
+    return design_for("alexnet", "485t", "float32", single=False)
+
+
+class TestRooflinePoint:
+    def test_achieved_below_peak(self, single):
+        point = roofline_point(single, 100.0)
+        assert point.achieved_gops <= point.peak_gops * 1.001
+
+    def test_utilization_matches_design(self, single):
+        point = roofline_point(single, 100.0)
+        assert point.utilization == pytest.approx(
+            single.arithmetic_utilization, rel=0.01
+        )
+
+    def test_alexnet_single_matches_zhang_scale(self, single):
+        # Zhang FPGA'15's 485T design achieves ~61.6 GFLOP/s at ~50 op/B.
+        point = roofline_point(single, 100.0)
+        assert point.achieved_gops == pytest.approx(66.4, rel=0.05)
+        assert 30 <= point.ctc_ops_per_byte <= 80
+
+    def test_multi_clp_raises_achieved_not_peak(self, single, multi):
+        p_single = roofline_point(single, 100.0)
+        p_multi = roofline_point(multi, 100.0)
+        # Same arithmetic (same DSP budget) -> same peak; Multi-CLP
+        # closes the gap to it.
+        assert p_multi.peak_gops == pytest.approx(p_single.peak_gops)
+        assert p_multi.achieved_gops > p_single.achieved_gops
+
+    def test_bound_classification(self, single):
+        generous = roofline_point(single, 100.0, bandwidth_gbps=100.0)
+        assert generous.bound == "compute"
+        starved = roofline_point(single, 100.0, bandwidth_gbps=0.1)
+        assert starved.bound == "memory"
+
+    def test_default_bandwidth_is_requirement(self, single):
+        point = roofline_point(single, 100.0)
+        assert point.bandwidth_gbps == pytest.approx(
+            single.required_bandwidth_gbps(100.0)
+        )
+
+
+class TestRooflineTable:
+    def test_table_contains_all_labels(self, single, multi):
+        table = roofline_table(
+            [
+                roofline_point(single, 100.0, label="S-CLP"),
+                roofline_point(multi, 100.0, label="M-CLP"),
+            ]
+        )
+        assert "S-CLP" in table and "M-CLP" in table
+        assert "bound" in table

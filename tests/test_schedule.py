@@ -1,0 +1,84 @@
+"""Tests for the epoch schedule (Figure 5)."""
+
+import pytest
+
+from repro.core.clp import CLPConfig
+from repro.core.datatypes import FLOAT32
+from repro.core.design import MultiCLPDesign
+from repro.core.layer import ConvLayer
+from repro.core.network import Network
+from repro.core.schedule import build_schedule
+
+
+@pytest.fixture
+def design():
+    # Mirrors Figure 5: CLP0 runs L1, L3, L4; CLP1 runs L2, L5.
+    layers = [
+        ConvLayer(f"L{i}", n=8, m=8, r=10, c=10, k=3) for i in range(1, 6)
+    ]
+    net = Network("fig5", layers)
+    by_name = {layer.name: layer for layer in layers}
+    clp0 = CLPConfig(2, 4, [by_name["L1"], by_name["L3"], by_name["L4"]], FLOAT32)
+    clp1 = CLPConfig(4, 4, [by_name["L2"], by_name["L5"]], FLOAT32)
+    return MultiCLPDesign(net, [clp0, clp1], FLOAT32)
+
+
+class TestBuildSchedule:
+    def test_epoch_zero_runs_only_first_layer(self, design):
+        schedule = build_schedule(design, epochs=1)
+        entries = schedule.entries_for_epoch(0)
+        assert [e.layer_name for e in entries] == ["L1"]
+        assert entries[0].image_index == 0
+
+    def test_pipeline_fills_one_layer_per_epoch(self, design):
+        schedule = build_schedule(design, epochs=5)
+        # In epoch e, layer Li runs image e - (i-1).
+        for entry in schedule.entries:
+            position = int(entry.layer_name[1]) - 1
+            assert entry.image_index == entry.epoch - position
+
+    def test_steady_state_all_layers_active(self, design):
+        schedule = build_schedule(design, epochs=6)
+        steady = schedule.entries_for_epoch(5)
+        assert sorted(e.layer_name for e in steady) == [
+            "L1", "L2", "L3", "L4", "L5"
+        ]
+
+    def test_entries_within_epoch_are_sequential_per_clp(self, design):
+        schedule = build_schedule(design, epochs=6)
+        for clp_index in range(2):
+            entries = [
+                e for e in schedule.entries_for_epoch(5)
+                if e.clp_index == clp_index
+            ]
+            for first, second in zip(entries, entries[1:]):
+                assert second.start_cycle >= first.end_cycle
+
+    def test_entries_fit_in_epoch(self, design):
+        schedule = build_schedule(design, epochs=6)
+        for entry in schedule.entries:
+            assert entry.end_cycle <= design.epoch_cycles
+
+    def test_images_completed(self, design):
+        # 5 layers deep: after 7 epochs, images 0..2 have finished.
+        schedule = build_schedule(design, epochs=7)
+        assert schedule.images_completed() == 3
+
+    def test_latency(self, design):
+        schedule = build_schedule(design, epochs=1)
+        assert schedule.latency_cycles() == 5 * design.epoch_cycles
+
+    def test_idle_cycles(self, design):
+        schedule = build_schedule(design, epochs=1)
+        idle = schedule.idle_cycles_by_clp()
+        assert min(idle.values()) == 0  # the bottleneck CLP has no idle
+        assert all(v >= 0 for v in idle.values())
+
+    def test_rejects_nonpositive_epochs(self, design):
+        with pytest.raises(ValueError):
+            build_schedule(design, epochs=0)
+
+    def test_entries_for_clp(self, design):
+        schedule = build_schedule(design, epochs=6)
+        names = {e.layer_name for e in schedule.entries_for_clp(1)}
+        assert names == {"L2", "L5"}

@@ -1,0 +1,93 @@
+"""Tests for the ASCII visualizations."""
+
+import pytest
+
+from repro.analysis.tables import design_for
+from repro.analysis.visualize import (
+    compare_single_vs_multi,
+    partition_summary,
+    schedule_gantt,
+    utilization_bars,
+)
+from repro.core.utilization import utilization_report
+from repro.networks import alexnet, squeezenet
+
+
+@pytest.fixture(scope="module")
+def multi():
+    return design_for("alexnet", "690t", "float32", single=False)
+
+
+@pytest.fixture(scope="module")
+def single():
+    return design_for("alexnet", "690t", "float32", single=True)
+
+
+class TestScheduleGantt:
+    def test_one_row_pair_per_clp(self, multi):
+        text = schedule_gantt(multi)
+        for index in range(multi.num_clps):
+            assert f"CLP{index}" in text
+
+    def test_bottleneck_has_no_idle(self, multi):
+        text = schedule_gantt(multi)
+        rows = [line for line in text.splitlines() if line.startswith("CLP")]
+        # At least one CLP row ends without idle dots before the bar.
+        assert any("." not in row for row in rows)
+
+    def test_epoch_header(self, multi):
+        assert f"epoch = {multi.epoch_cycles} cycles" in schedule_gantt(multi)
+
+    def test_width_respected(self, multi):
+        text = schedule_gantt(multi, width=40)
+        rows = [line for line in text.splitlines() if line.startswith("CLP")]
+        for row in rows:
+            bar = row.split("|")[1]
+            assert len(bar) <= 44  # width plus rounding slack
+
+    def test_rejects_tiny_width(self, multi):
+        with pytest.raises(ValueError):
+            schedule_gantt(multi, width=5)
+
+    def test_legend_names_layers(self, multi):
+        text = schedule_gantt(multi)
+        for layer in multi.network:
+            assert layer.name in text
+
+
+class TestUtilizationBars:
+    def test_section32_motivation(self):
+        # The SqueezeNet mismatch figure from Section 3.2.
+        report = utilization_report(squeezenet(), 9, 64)
+        text = utilization_bars(report)
+        assert "33.3%" in text  # layer 1
+        assert "22.2%" in text  # layer 2
+        assert "76.4%" in text  # overall
+
+    def test_one_bar_per_layer(self):
+        report = utilization_report(alexnet(), 7, 64)
+        text = utilization_bars(report)
+        assert text.count("|") == 2 * len(alexnet())
+
+    def test_full_utilization_fills_bar(self):
+        report = utilization_report(alexnet(), 1, 1)
+        text = utilization_bars(report, width=10)
+        assert "##########" in text
+
+
+class TestPartitionSummary:
+    def test_mentions_all_layers(self, multi):
+        text = partition_summary(multi)
+        for layer in multi.network:
+            assert layer.name in text
+
+    def test_total_units(self, multi):
+        assert f"{multi.total_units} MAC units" in partition_summary(multi)
+
+
+class TestComparison:
+    def test_compare_contains_both_sections(self, single, multi):
+        text = compare_single_vs_multi(alexnet(), single, multi)
+        assert "Single-CLP" in text
+        assert "Multi-CLP" in text
+        assert "speedup" in text
