@@ -1,0 +1,69 @@
+"""DSE engine: serial vs pooled sweep wall-time, and cache-hit re-runs.
+
+Bands: the pooled sweep produces byte-identical results (modulo per-point
+wall time) to the serial sweep, and a re-run against the populated store
+computes zero points and finishes orders of magnitude faster than the
+cold sweep.  On multi-core machines the pool should not be dramatically
+slower than serial (startup overhead aside); a strict speedup is only
+asserted when enough cores are present, since CI boxes may expose one.
+"""
+
+import os
+import time
+
+from repro.dse import ResultStore, SweepRunner, SweepSpec
+
+SPEC = SweepSpec(
+    networks=("alexnet", "squeezenet"),
+    budgets=((1000, 800), (2240, 1648), (2880, 2352)),
+    dtypes=("float32", "fixed16"),
+    modes=("single", "multi"),
+)
+
+
+def _timed_sweep(workers):
+    runner = SweepRunner(store=ResultStore(), workers=workers)
+    started = time.perf_counter()
+    outcome = runner.run(SPEC)
+    return outcome, time.perf_counter() - started, runner.store
+
+
+def test_dse_parallel(benchmark, record_artifact):
+    serial, serial_s, store = _timed_sweep(workers=1)
+    cores = os.cpu_count() or 1
+    pooled, pooled_s, _ = benchmark.pedantic(
+        lambda: _timed_sweep(workers=cores), rounds=1, iterations=1
+    )
+
+    # Identical sweep output regardless of execution strategy.
+    def strip(result):
+        record = result.to_dict()
+        record.pop("elapsed_s")
+        return record
+
+    assert [strip(r) for r in serial.results] == [strip(r) for r in pooled.results]
+    assert serial.computed == pooled.computed == serial.total
+
+    # A warm re-run is pure cache: zero optimizer calls, near-instant.
+    started = time.perf_counter()
+    warm = SweepRunner(store=store, workers=1).run(SPEC)
+    warm_s = time.perf_counter() - started
+    assert warm.computed == 0
+    assert warm.cached == warm.total == serial.total
+    assert warm_s < serial_s / 10
+
+    lines = [
+        f"points: {serial.total} "
+        f"({serial.infeasible} infeasible, captured not fatal)",
+        f"serial sweep        : {serial_s:8.2f} s",
+        f"pooled sweep ({cores} cpu): {pooled_s:8.2f} s "
+        f"({serial_s / pooled_s:.2f}x vs serial)"
+        + ("  [1 cpu: ran in-process with warm caches]" if cores == 1 else ""),
+        f"cached re-run       : {warm_s:8.4f} s "
+        f"({serial_s / max(warm_s, 1e-9):.0f}x vs cold, 100% hits)",
+    ]
+    record_artifact("dse_parallel", "\n".join(lines))
+
+    if cores >= 4:
+        # With real parallelism available the pool must win.
+        assert pooled_s < serial_s

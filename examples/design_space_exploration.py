@@ -2,35 +2,57 @@
 """Design-space exploration across networks, devices, and datatypes.
 
 Sweeps the full evaluation grid of the paper's Table 1 plus a CLP-count
-sweep, printing which partitionings win where — the workflow a deployment
-engineer would use to size an accelerator for a new model/board pair.
+sweep through the ``repro.dse`` engine: points solve in parallel across
+CPU cores, every result lands in a JSON-lines store, and re-running the
+script serves everything from cache (delete the store to recompute).
 
 Run:  python examples/design_space_exploration.py
 """
 
-from repro import FIXED16, FLOAT32, budget_for, get_network
 from repro.analysis.report import render_table
-from repro.opt import optimize_multi_clp, optimize_single_clp
+from repro.dse import (
+    SweepSpec,
+    best_per_group,
+    frontier_table,
+    run_sweep,
+)
+
+STORE = "dse_results.jsonl"
 
 
 def sweep_networks() -> None:
+    spec = SweepSpec(
+        networks=("alexnet", "squeezenet", "googlenet"),
+        parts=("485t", "690t"),
+        dtypes=("float32", "fixed16"),
+        modes=("single", "multi"),
+    )
+    outcome = run_sweep(spec, store=STORE)
+    print(f"[grid] {outcome.format()}")
+
+    by_scenario = {
+        (r.point.network, r.point.part, r.point.dtype, r.point.mode): r
+        for r in outcome.ok_results()
+    }
     rows = []
-    for network_name in ("alexnet", "squeezenet", "googlenet"):
-        network = get_network(network_name)
+    for network in ("alexnet", "squeezenet", "googlenet"):
         for part in ("485t", "690t"):
-            for dtype in (FLOAT32, FIXED16):
-                budget = budget_for(part)
-                single = optimize_single_clp(network, budget, dtype)
-                multi = optimize_multi_clp(network, budget, dtype)
+            for dtype in ("float32", "fixed16"):
+                single = by_scenario.get((network, part, dtype, "single"))
+                multi = by_scenario.get((network, part, dtype, "multi"))
+                if single is None or multi is None:
+                    rows.append((network, part, dtype, "-", "-", "-",
+                                 "infeasible"))
+                    continue
                 rows.append(
                     (
-                        network_name,
+                        network,
                         part,
-                        dtype.label,
-                        multi.num_clps,
-                        f"{single.arithmetic_utilization:.0%}",
-                        f"{multi.arithmetic_utilization:.0%}",
-                        f"{single.epoch_cycles / multi.epoch_cycles:.2f}x",
+                        dtype,
+                        multi.metrics["num_clps"],
+                        f"{single.metrics['arithmetic_utilization']:.0%}",
+                        f"{multi.metrics['arithmetic_utilization']:.0%}",
+                        f"{single.metrics['epoch_cycles'] / multi.metrics['epoch_cycles']:.2f}x",
                     )
                 )
     print(render_table(
@@ -39,28 +61,48 @@ def sweep_networks() -> None:
         title="Single- vs Multi-CLP across the design space",
     ))
 
+    print()
+    print(frontier_table(outcome.results, maximize=("throughput",),
+                         minimize=("dsp",)))
+
+    print()
+    winners = best_per_group(outcome.results, by=("network", "dtype"),
+                             key="throughput")
+    for (network, dtype), result in sorted(winners.items()):
+        print(
+            f"  best {network}/{dtype}: {result.point.budget_label} "
+            f"{result.point.mode} -> "
+            f"{result.metrics['throughput_images_per_s']:.1f} img/s"
+        )
+
 
 def sweep_clp_count() -> None:
-    network = get_network("squeezenet")
-    budget = budget_for("690t", frequency_mhz=170.0)
+    spec = SweepSpec(
+        networks=("squeezenet",),
+        parts=("690t",),
+        dtypes=("fixed16",),
+        frequencies_mhz=(170.0,),
+        modes=("multi",),
+        max_clps=(1, 2, 3, 4, 6),
+        orderings=("compute-to-data",),
+    )
+    outcome = run_sweep(spec, store=STORE)
+    print(f"[clp-count] {outcome.format()}")
+
     rows = []
     baseline = None
-    for max_clps in (1, 2, 3, 4, 6):
-        design = optimize_multi_clp(
-            network, budget, FIXED16, max_clps=max_clps,
-            ordering="compute-to-data",
-        )
-        baseline = baseline or design.epoch_cycles
+    for result in outcome.ok_results():
+        epoch = result.metrics["epoch_cycles"]
+        baseline = baseline or epoch
         rows.append(
             (
-                max_clps,
-                design.num_clps,
-                design.epoch_cycles,
-                f"{baseline / design.epoch_cycles:.2f}x",
-                f"{design.arithmetic_utilization:.0%}",
+                result.point.max_clps,
+                result.metrics["num_clps"],
+                epoch,
+                f"{baseline / epoch:.2f}x",
+                f"{result.metrics['arithmetic_utilization']:.0%}",
             )
         )
-    print()
     print(render_table(
         ["max CLPs", "used", "epoch cycles", "speedup", "utilization"],
         rows,
@@ -70,4 +112,5 @@ def sweep_clp_count() -> None:
 
 if __name__ == "__main__":
     sweep_networks()
+    print()
     sweep_clp_count()

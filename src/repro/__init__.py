@@ -27,7 +27,7 @@ from .core import (
 from .fpga import FpgaPart, ResourceBudget, budget_for, get_part
 from .networks import available_networks, get_network
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ConvLayer",
@@ -50,6 +50,9 @@ __all__ = [
     "available_networks",
     "optimize_multi_clp",
     "optimize_single_clp",
+    "dse",
+    "SweepSpec",
+    "run_sweep",
     "__version__",
 ]
 
@@ -63,4 +66,12 @@ def __getattr__(name):
             "optimize_multi_clp": optimize_multi_clp,
             "optimize_single_clp": optimize_single_clp,
         }[name]
+    if name == "dse":
+        from . import dse
+
+        return dse
+    if name in ("SweepSpec", "run_sweep"):
+        from .dse import SweepSpec, run_sweep
+
+        return {"SweepSpec": SweepSpec, "run_sweep": run_sweep}[name]
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -14,9 +14,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.datatypes import FLOAT32, DataType
 from ..core.design import MultiCLPDesign
-from ..fpga.parts import ResourceBudget
-from ..networks import get_network
-from ..opt import OptimizationError, optimize_multi_clp, optimize_single_clp
 from ..opt.compute import CLPCandidate, PartitionCandidate
 from ..opt.memory import system_tradeoff_curve
 from .report import ascii_plot, render_table
@@ -149,32 +146,41 @@ def figure7(
     dtype: DataType = FLOAT32,
     frequency_mhz: float = 100.0,
     max_clps: int = 6,
+    workers: Optional[int] = None,
+    store=None,
 ) -> Figure7Result:
-    """Throughput scaling of Single- vs Multi-CLP with the DSP budget."""
-    network = get_network(network_name)
-    points: List[ScalingPoint] = []
-    for dsp in dsp_sweep:
-        budget = ResourceBudget(
-            dsp=dsp,
-            bram18k=max(16, int(dsp * BRAM_PER_DSP)),
-            frequency_mhz=frequency_mhz,
+    """Throughput scaling of Single- vs Multi-CLP with the DSP budget.
+
+    The sweep runs through :mod:`repro.dse`: points fan out across
+    ``workers`` processes (``None`` = CPU count) and, when ``store`` is
+    given (a :class:`repro.dse.ResultStore` or path), previously solved
+    budgets are served from cache instead of re-optimized.
+    """
+    from ..dse import SweepSpec, run_sweep
+
+    budgets = tuple(
+        (int(dsp), max(16, int(dsp * BRAM_PER_DSP))) for dsp in dsp_sweep
+    )
+    spec = SweepSpec(
+        networks=(network_name,),
+        budgets=budgets,
+        dtypes=(dtype.label,),
+        frequencies_mhz=(frequency_mhz,),
+        modes=("single", "multi"),
+        max_clps=(max_clps,),
+    )
+    outcome = run_sweep(spec, store=store, workers=workers)
+
+    throughput: Dict[Tuple[int, str], Optional[float]] = {
+        (result.point.dsp, result.point.mode): result.metric("throughput")
+        for result in outcome.results
+    }
+    points: List[ScalingPoint] = [
+        ScalingPoint(
+            dsp=int(dsp),
+            single_throughput=throughput[(int(dsp), "single")],
+            multi_throughput=throughput[(int(dsp), "multi")],
         )
-        throughputs: Dict[str, Optional[float]] = {}
-        for kind, optimize in (
-            ("single", optimize_single_clp),
-            ("multi", optimize_multi_clp),
-        ):
-            try:
-                kwargs = {} if kind == "single" else {"max_clps": max_clps}
-                design = optimize(network, budget, dtype, **kwargs)
-                throughputs[kind] = design.throughput(frequency_mhz)
-            except OptimizationError:
-                throughputs[kind] = None
-        points.append(
-            ScalingPoint(
-                dsp=dsp,
-                single_throughput=throughputs["single"],
-                multi_throughput=throughputs["multi"],
-            )
-        )
+        for dsp in dsp_sweep
+    ]
     return Figure7Result(points=tuple(points))

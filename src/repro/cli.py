@@ -8,6 +8,8 @@ Examples::
     python -m repro optimize --network googlenet --part 690t --dtype fixed16
     python -m repro validate               # simulator vs model
     python -m repro hls --network alexnet --part 485t
+    python -m repro dse sweep --networks alexnet squeezenet --parts 485t 690t
+    python -m repro dse frontier --store dse_results.jsonl
 """
 
 from __future__ import annotations
@@ -25,10 +27,15 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
-        prog="multiclp",
+        prog="repro",
         description="Multi-CLP CNN accelerator resource partitioning "
         "(ISCA 2017 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -87,6 +94,50 @@ def build_parser() -> argparse.ArgumentParser:
 
     nets = sub.add_parser("networks", help="describe the network zoo")
     nets.add_argument("--network", default=None)
+
+    dse = sub.add_parser(
+        "dse", help="design-space exploration: parallel cached sweeps"
+    )
+    dse_sub = dse.add_subparsers(dest="dse_command", required=True)
+
+    sweep = dse_sub.add_parser(
+        "sweep", help="solve a cross-product of design points"
+    )
+    sweep.add_argument("--networks", nargs="+", default=["alexnet"],
+                       choices=available_networks())
+    sweep.add_argument("--parts", nargs="+", default=None,
+                       help="FPGA parts (default 485t 690t unless --budgets)")
+    sweep.add_argument("--budgets", nargs="+", default=[], metavar="DSP:BRAM",
+                       help="synthetic budgets, e.g. 1000:800")
+    sweep.add_argument("--dtypes", nargs="+", default=["float32"])
+    sweep.add_argument("--bandwidths", nargs="+", type=float, default=[],
+                       metavar="GBPS",
+                       help="bandwidth caps; unconstrained if omitted")
+    sweep.add_argument("--frequency-mhz", type=float, default=100.0)
+    sweep.add_argument("--modes", nargs="+", default=["multi"],
+                       choices=["single", "multi"])
+    sweep.add_argument("--max-clps", nargs="+", type=int, default=[6])
+    sweep.add_argument("--orderings", nargs="+", default=["auto"])
+    sweep.add_argument("--store", default="dse_results.jsonl",
+                       help="JSONL result store (resumable cache)")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="worker processes (default: CPU count)")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="summary line only, no result table")
+
+    frontier = dse_sub.add_parser(
+        "frontier", help="Pareto frontier of a result store"
+    )
+    from .dse.point import METRIC_NAMES
+
+    frontier.add_argument("--store", default="dse_results.jsonl")
+    frontier.add_argument("--maximize", nargs="+", default=["throughput"],
+                          choices=METRIC_NAMES)
+    frontier.add_argument("--minimize", nargs="+", default=["dsp"],
+                          choices=METRIC_NAMES)
+
+    status = dse_sub.add_parser("status", help="describe a result store")
+    status.add_argument("--store", default="dse_results.jsonl")
     return parser
 
 
@@ -244,6 +295,58 @@ def _cmd_hls(args: argparse.Namespace) -> str:
     return generate_system(design)
 
 
+def _parse_budget(text: str) -> tuple:
+    try:
+        dsp, bram = text.split(":")
+        return (int(dsp), int(bram))
+    except ValueError:
+        raise SystemExit(
+            f"bad synthetic budget {text!r}; expected DSP:BRAM, e.g. 1000:800"
+        ) from None
+
+
+def _cmd_dse(args: argparse.Namespace) -> str:
+    from .dse import ResultStore, SweepSpec, frontier_table, run_sweep, summary_table
+
+    if args.dse_command == "status":
+        return ResultStore(args.store).describe()
+    if args.dse_command == "frontier":
+        results = ResultStore(args.store).results()
+        if not results:
+            return f"store {args.store} is empty; run `repro dse sweep` first"
+        return frontier_table(
+            results, maximize=args.maximize, minimize=args.minimize
+        )
+
+    if args.parts is not None:
+        parts = tuple(args.parts)
+    else:
+        parts = () if args.budgets else ("485t", "690t")
+    try:
+        spec = SweepSpec(
+            networks=tuple(args.networks),
+            parts=parts,
+            budgets=tuple(_parse_budget(b) for b in args.budgets),
+            dtypes=tuple(args.dtypes),
+            bandwidths_gbps=tuple(args.bandwidths) or (None,),
+            frequencies_mhz=(args.frequency_mhz,),
+            modes=tuple(args.modes),
+            max_clps=tuple(args.max_clps),
+            orderings=tuple(args.orderings),
+        )
+        store = ResultStore(args.store)
+        outcome = run_sweep(spec, store=store, workers=args.workers)
+    except ValueError as exc:
+        raise SystemExit(f"repro dse sweep: error: {exc}") from None
+    lines = []
+    if not args.quiet:
+        lines.append(summary_table(outcome.results))
+        lines.append("")
+    lines.append(f"sweep: {outcome.format()}")
+    lines.append(f"store: {args.store} ({len(store)} points on disk)")
+    return "\n".join(lines)
+
+
 def _cmd_networks(args: argparse.Namespace) -> str:
     if args.network:
         return get_network(args.network).describe()
@@ -275,6 +378,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _cmd_hls(args)
     elif command == "networks":
         output = _cmd_networks(args)
+    elif command == "dse":
+        output = _cmd_dse(args)
     else:  # pragma: no cover - argparse guards this
         raise SystemExit(f"unknown command {command}")
     print(output)

@@ -22,6 +22,10 @@ __all__ = [
     "layer_from_dict",
     "network_to_dict",
     "network_from_dict",
+    "clp_to_dict",
+    "clp_from_dict",
+    "budget_to_dict",
+    "budget_from_dict",
     "design_to_dict",
     "design_from_dict",
     "dump_design",
@@ -72,7 +76,8 @@ def network_from_dict(data: Dict[str, Any]) -> Network:
     )
 
 
-def _clp_to_dict(clp: CLPConfig) -> Dict[str, Any]:
+def clp_to_dict(clp: CLPConfig) -> Dict[str, Any]:
+    """A JSON-ready CLP record; layers are referenced by name."""
     return {
         "tn": clp.tn,
         "tm": clp.tm,
@@ -81,13 +86,50 @@ def _clp_to_dict(clp: CLPConfig) -> Dict[str, Any]:
     }
 
 
+def clp_from_dict(
+    record: Dict[str, Any], network: Network, dtype: DataType
+) -> CLPConfig:
+    """Rebuild a CLP from its record, resolving layer names in ``network``."""
+    layers = [network.layer_by_name(name) for name in record["layers"]]
+    return CLPConfig(
+        tn=int(record["tn"]),
+        tm=int(record["tm"]),
+        layers=layers,
+        dtype=dtype,
+        tile_plans=[tuple(plan) for plan in record["tile_plans"]],
+    )
+
+
+def budget_to_dict(budget: "ResourceBudget") -> Dict[str, Any]:
+    return {
+        "dsp": budget.dsp,
+        "bram18k": budget.bram18k,
+        "bandwidth_gbps": budget.bandwidth_gbps,
+        "frequency_mhz": budget.frequency_mhz,
+    }
+
+
+def budget_from_dict(data: Dict[str, Any]) -> "ResourceBudget":
+    from ..fpga.parts import ResourceBudget
+
+    return ResourceBudget(
+        dsp=int(data["dsp"]),
+        bram18k=int(data["bram18k"]),
+        bandwidth_gbps=(
+            None if data.get("bandwidth_gbps") is None
+            else float(data["bandwidth_gbps"])
+        ),
+        frequency_mhz=float(data.get("frequency_mhz", 100.0)),
+    )
+
+
 def design_to_dict(design: MultiCLPDesign) -> Dict[str, Any]:
     """A self-contained, JSON-ready record of a design."""
     return {
         "schema": SCHEMA_VERSION,
         "dtype": design.dtype.label,
         "network": network_to_dict(design.network),
-        "clps": [_clp_to_dict(clp) for clp in design.clps],
+        "clps": [clp_to_dict(clp) for clp in design.clps],
         # Redundant summary fields for human diffing; ignored on load.
         "summary": {
             "epoch_cycles": design.epoch_cycles,
@@ -106,18 +148,9 @@ def design_from_dict(data: Dict[str, Any]) -> MultiCLPDesign:
         )
     network = network_from_dict(data["network"])
     dtype = DataType.from_name(data["dtype"])
-    clps: List[CLPConfig] = []
-    for record in data["clps"]:
-        layers = [network.layer_by_name(name) for name in record["layers"]]
-        clps.append(
-            CLPConfig(
-                tn=int(record["tn"]),
-                tm=int(record["tm"]),
-                layers=layers,
-                dtype=dtype,
-                tile_plans=[tuple(plan) for plan in record["tile_plans"]],
-            )
-        )
+    clps: List[CLPConfig] = [
+        clp_from_dict(record, network, dtype) for record in data["clps"]
+    ]
     return MultiCLPDesign(network=network, clps=clps, dtype=dtype)
 
 

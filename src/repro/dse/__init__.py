@@ -1,0 +1,49 @@
+"""Design-space exploration engine: parallel, cached, resumable sweeps.
+
+The paper's whole contribution is a *search* over accelerator design
+spaces; this package makes that search a first-class workflow::
+
+    from repro.dse import SweepSpec, run_sweep, pareto_frontier
+
+    spec = SweepSpec(
+        networks=("alexnet", "squeezenet"),
+        parts=("485t", "690t"),
+        dtypes=("float32", "fixed16"),
+        modes=("single", "multi"),
+    )
+    outcome = run_sweep(spec, store="sweep.jsonl")   # parallel across cores
+    best = pareto_frontier(outcome.results)           # throughput vs DSPs
+
+Re-running the same call is ~free: the JSONL store is keyed by a stable
+hash of each point, so only never-seen points are computed.  Infeasible
+points record their ``OptimizationError`` instead of aborting the sweep.
+"""
+
+from .analysis import (
+    METRIC_NAMES,
+    best_per_group,
+    frontier_table,
+    pareto_frontier,
+    summary_table,
+)
+from .point import DesignPoint, SweepResult, canonical_json, point_key
+from .runner import SweepOutcome, SweepRunner, run_sweep
+from .spec import SweepSpec
+from .store import ResultStore
+
+__all__ = [
+    "DesignPoint",
+    "SweepResult",
+    "SweepSpec",
+    "SweepRunner",
+    "SweepOutcome",
+    "ResultStore",
+    "run_sweep",
+    "pareto_frontier",
+    "best_per_group",
+    "summary_table",
+    "frontier_table",
+    "METRIC_NAMES",
+    "canonical_json",
+    "point_key",
+]

@@ -1,0 +1,163 @@
+"""Analysis of sweep results: Pareto frontiers, winners, and tables.
+
+The optimizer answers "what is the best design for THIS budget"; these
+helpers answer the questions a sweep exists for — which designs are
+Pareto-optimal across the whole space (throughput vs. DSPs, BRAM, or
+bandwidth), which configuration wins per network/device group, and what
+does the study look like as a table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..analysis.report import render_table
+from .point import METRIC_NAMES, SweepResult
+
+__all__ = [
+    "METRIC_NAMES",
+    "pareto_frontier",
+    "best_per_group",
+    "summary_table",
+    "frontier_table",
+]
+
+#: Axes where smaller is better when used as an objective.
+_COST_METRICS = {"dsp", "bram", "bandwidth", "epoch_cycles", "num_clps"}
+
+
+def _check_metric(name: str) -> str:
+    if name not in METRIC_NAMES:
+        raise ValueError(
+            f"unknown metric {name!r}; known: {', '.join(METRIC_NAMES)}"
+        )
+    return name
+
+
+def _objective_values(
+    result: SweepResult, maximize: Sequence[str], minimize: Sequence[str]
+) -> Tuple[float, ...]:
+    """Objectives as a uniform maximize-vector (costs negated)."""
+    values = []
+    for name, sign in [(n, 1.0) for n in maximize] + [(n, -1.0) for n in minimize]:
+        value = result.metric(name)
+        if value is None:
+            raise ValueError(
+                f"result {result.point.key()[:12]} has no metric {name!r}"
+                " (corrupt or foreign store record?)"
+            )
+        values.append(sign * float(value))
+    return tuple(values)
+
+
+def pareto_frontier(
+    results: Iterable[SweepResult],
+    maximize: Sequence[str] = ("throughput",),
+    minimize: Sequence[str] = ("dsp",),
+) -> List[SweepResult]:
+    """Non-dominated solved points under the given objectives.
+
+    A point is dominated when another is at least as good on every
+    objective and strictly better on one.  Infeasible points never make
+    the frontier.  The result keeps sweep order.
+    """
+    for name in (*maximize, *minimize):
+        _check_metric(name)
+    solved = [r for r in results if r.ok]
+    vectors = [_objective_values(r, maximize, minimize) for r in solved]
+    frontier: List[SweepResult] = []
+    for i, candidate in enumerate(vectors):
+        dominated = False
+        for j, other in enumerate(vectors):
+            if j == i:
+                continue
+            if all(o >= c for o, c in zip(other, candidate)) and other != candidate:
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(solved[i])
+    return frontier
+
+
+def best_per_group(
+    results: Iterable[SweepResult],
+    by: Sequence[str] = ("network", "dtype"),
+    key: str = "throughput",
+) -> Dict[Tuple, SweepResult]:
+    """Highest-``key`` solved point per group of point attributes.
+
+    ``by`` names DesignPoint attributes (e.g. ``("network", "part")``);
+    cost metrics like ``dsp`` select the *lowest* value instead.
+    """
+    _check_metric(key)
+    pick_min = key in _COST_METRICS
+    winners: Dict[Tuple, SweepResult] = {}
+    for result in results:
+        if not result.ok:
+            continue
+        group = tuple(getattr(result.point, attr) for attr in by)
+        value = result.metric(key)
+        incumbent = winners.get(group)
+        if incumbent is None:
+            winners[group] = result
+            continue
+        best = incumbent.metric(key)
+        if (value < best) if pick_min else (value > best):
+            winners[group] = result
+    return winners
+
+
+_SUMMARY_HEADERS = (
+    "network", "budget", "dtype", "mode", "b/w cap", "CLPs",
+    "img/s", "util", "DSP", "BRAM", "need GB/s", "status",
+)
+
+
+def _summary_row(result: SweepResult) -> Tuple:
+    point = result.point
+    cap = f"{point.bandwidth_gbps:g}" if point.bandwidth_gbps else "-"
+    if not result.ok:
+        return (
+            point.network, point.budget_label, point.dtype, point.mode,
+            cap, "-", "-", "-", "-", "-", "-",
+            f"infeasible: {result.error_type}",
+        )
+    return (
+        point.network,
+        point.budget_label,
+        point.dtype,
+        point.mode,
+        cap,
+        result.metrics["num_clps"],
+        f"{result.metrics['throughput_images_per_s']:.1f}",
+        f"{result.metrics['arithmetic_utilization']:.1%}",
+        result.metrics["dsp"],
+        result.metrics["bram"],
+        f"{result.metrics['required_bandwidth_gbps']:.2f}",
+        "ok",
+    )
+
+
+def summary_table(
+    results: Iterable[SweepResult], title: str = "Design-space sweep"
+) -> str:
+    """All results as a fixed-width table (sweep order)."""
+    return render_table(
+        _SUMMARY_HEADERS, [_summary_row(r) for r in results], title=title
+    )
+
+
+def frontier_table(
+    results: Iterable[SweepResult],
+    maximize: Sequence[str] = ("throughput",),
+    minimize: Sequence[str] = ("dsp",),
+) -> str:
+    """The Pareto frontier rendered as a table."""
+    frontier = pareto_frontier(results, maximize=maximize, minimize=minimize)
+    title = (
+        f"Pareto frontier: max({', '.join(maximize)}) "
+        f"vs min({', '.join(minimize)}) -- {len(frontier)} points"
+    )
+    return render_table(
+        _SUMMARY_HEADERS, [_summary_row(r) for r in frontier], title=title
+    )

@@ -1,0 +1,93 @@
+"""On-disk result store: JSON-lines, keyed by stable point hash.
+
+One line per solved point; re-running a sweep against the same store
+recomputes only the missing keys, which makes every sweep resumable
+(kill it halfway, run again) and incremental (grow the spec, pay only
+for the new points).  Append-only writes mean a crash can at worst lose
+the final partial line, which the loader skips; duplicate keys resolve
+to the last-written record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .point import SweepResult
+
+__all__ = ["ResultStore"]
+
+
+class ResultStore:
+    """A dictionary of ``point key -> SweepResult`` persisted as JSONL.
+
+    With ``path=None`` the store is memory-only — same interface, no
+    persistence — which the runner uses for throwaway sweeps.
+    """
+
+    def __init__(self, path: Union[str, Path, None] = None):
+        self.path: Optional[Path] = Path(path) if path is not None else None
+        self._records: Dict[str, SweepResult] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        assert self.path is not None
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn final line from an interrupted run
+                result = SweepResult.from_dict(record)
+                self._records[result.point.key()] = result
+
+    # ------------------------------------------------------------- dict-like
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    def get(self, key: str) -> Optional[SweepResult]:
+        return self._records.get(key)
+
+    def keys(self) -> Iterable[str]:
+        return self._records.keys()
+
+    def results(self) -> List[SweepResult]:
+        """All stored results, in insertion (file) order."""
+        return list(self._records.values())
+
+    # --------------------------------------------------------------- writing
+    def put(self, result: SweepResult) -> None:
+        """Record one result, appending to the backing file if any."""
+        key = result.point.key()
+        self._records[key] = result
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with self.path.open("a") as handle:
+                handle.write(json.dumps(result.to_dict()) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+
+    def put_all(self, results: Iterable[SweepResult]) -> None:
+        for result in results:
+            self.put(result)
+
+    # --------------------------------------------------------------- summary
+    def describe(self) -> str:
+        ok = sum(1 for r in self._records.values() if r.ok)
+        failed = len(self._records) - ok
+        networks = sorted({r.point.network for r in self._records.values()})
+        where = self.path if self.path is not None else "<memory>"
+        return (
+            f"store {where}: {len(self._records)} points "
+            f"({ok} solved, {failed} infeasible) "
+            f"across networks {networks or '[]'}"
+        )
