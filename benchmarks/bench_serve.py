@@ -1,0 +1,63 @@
+"""Serving-engine speed: simulated requests per wall-clock second.
+
+The traffic simulator exists to be swept (``repro dse rank`` replays
+every stored design under load), so its own throughput matters.  This
+benchmark saturates a real AlexNet 485T design with constant-rate
+traffic for a fixed number of epochs and reports how many simulated
+requests the event loop processes per second of host time.
+
+Bands: the engine must stay comfortably above 10k simulated requests/s
+(each request is ~4 heap events), and a drained run must conserve
+requests exactly (arrivals == completions + drops).
+"""
+
+import time
+
+from repro.core.datatypes import FLOAT32
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet
+from repro.opt import optimize_multi_clp
+from repro.serve import ConstantRate, TenantSpec, simulate_traffic
+
+EPOCHS = 2_000
+
+
+def _run_once(design):
+    epoch = design.epoch_cycles
+    # 2x capacity keeps the queue full: one admission every epoch.
+    process = ConstantRate(2.0 / epoch)
+    return simulate_traffic(
+        design,
+        [TenantSpec("AlexNet", process)],
+        duration_cycles=EPOCHS * epoch,
+        queue_depth=10 * EPOCHS,
+        drain=True,
+    )
+
+
+def test_serve_engine_speed(benchmark, record_artifact):
+    design = optimize_multi_clp(alexnet(), budget_for("485t"), FLOAT32)
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(lambda: _run_once(design), rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
+
+    tenant = result.tenants[0]
+    assert tenant.arrivals == tenant.completions + tenant.drops
+    assert tenant.completions >= EPOCHS  # saturated: one image per epoch
+
+    requests_per_s = tenant.arrivals / elapsed
+    artifact = "\n".join(
+        [
+            "serve engine speed (AlexNet 485T float32, saturated)",
+            f"  simulated epochs:    {EPOCHS}",
+            f"  simulated requests:  {tenant.arrivals}",
+            f"  wall-clock:          {elapsed:.3f} s",
+            f"  simulated req/s:     {requests_per_s:,.0f}",
+            f"  completions:         {tenant.completions}",
+        ]
+    )
+    record_artifact("bench_serve", artifact)
+    assert requests_per_s > 10_000, (
+        f"serve engine too slow: {requests_per_s:,.0f} simulated req/s"
+    )

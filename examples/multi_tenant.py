@@ -1,10 +1,16 @@
 #!/usr/bin/env python
-"""Joint optimization: one accelerator serving two CNNs (Section 4.3).
+"""Joint optimization + multi-tenant serving (Sections 4.1 and 4.3).
 
 A datacenter card often hosts several models.  The paper notes its
 optimization "can be simultaneously applied to multiple target CNNs to
 jointly optimize their performance": pooling the layers lets similar
 layers from different networks share a specialized CLP.
+
+This example first compares the joint accelerator against 50/50 time
+multiplexing of two dedicated designs, then *load-tests* the joint
+design with the `repro.serve` traffic simulator: seeded Poisson request
+streams per tenant, bounded FIFO queues, and the epoch-pipelined
+dispatch of Figure 5.
 
 Run:  python examples/multi_tenant.py
 """
@@ -12,12 +18,20 @@ Run:  python examples/multi_tenant.py
 from repro import FIXED16, budget_for, get_network
 from repro.analysis.report import render_table
 from repro.opt import optimize_joint, optimize_multi_clp
+from repro.serve import (
+    PoissonArrivals,
+    TenantSpec,
+    service_capacity_rps,
+    simulate_traffic,
+)
+
+FREQ_MHZ = 170.0
 
 
 def main() -> None:
     alexnet = get_network("alexnet")
     squeezenet = get_network("squeezenet")
-    budget = budget_for("690t", frequency_mhz=170.0)
+    budget = budget_for("690t", frequency_mhz=FREQ_MHZ)
 
     joint = optimize_joint([alexnet, squeezenet], budget, FIXED16)
     print(joint.describe())
@@ -30,10 +44,10 @@ def main() -> None:
     for network in (alexnet, squeezenet):
         design = optimize_multi_clp(network, budget, FIXED16)
         dedicated[network.name] = design
-    joint_rates = joint.throughput_per_network(170.0)
+    joint_rates = joint.throughput_per_network(FREQ_MHZ)
     for network in (alexnet, squeezenet):
         ded = dedicated[network.name]
-        time_mux_rate = ded.throughput(170.0) / 2  # half the time slice
+        time_mux_rate = ded.throughput(FREQ_MHZ) / 2  # half the time slice
         rows.append(
             (
                 network.name,
@@ -45,12 +59,31 @@ def main() -> None:
     print(render_table(
         ["network", "joint img/s", "time-mux img/s", "joint advantage"],
         rows,
-        title="Joint accelerator vs 50/50 time multiplexing @170MHz",
+        title=f"Joint accelerator vs 50/50 time multiplexing @{FREQ_MHZ:.0f}MHz",
     ))
     print()
     for network in (alexnet, squeezenet):
         shared = joint.clps_serving(network.name)
         print(f"{network.name} layers run on CLPs {shared}")
+    print()
+
+    # Load-test the joint design: AlexNet tenants at 60% of capacity,
+    # SqueezeNet at 85%, seeded Poisson arrivals, 500 ms of traffic.
+    cycles_per_second = FREQ_MHZ * 1e6
+    capacity = service_capacity_rps(joint, FREQ_MHZ)
+    tenants = [
+        TenantSpec("AlexNet", PoissonArrivals(0.60 * capacity / cycles_per_second)),
+        TenantSpec("SqueezeNet", PoissonArrivals(0.85 * capacity / cycles_per_second)),
+    ]
+    result = simulate_traffic(
+        joint,
+        tenants,
+        duration_cycles=0.5 * cycles_per_second,  # 500 ms
+        frequency_mhz=FREQ_MHZ,
+        seed=2017,
+        queue_depth=32,
+    )
+    print(result.format())
 
 
 if __name__ == "__main__":

@@ -53,6 +53,9 @@ __all__ = [
     "dse",
     "SweepSpec",
     "run_sweep",
+    "serve",
+    "simulate_traffic",
+    "TenantSpec",
     "__version__",
 ]
 
@@ -74,4 +77,15 @@ def __getattr__(name):
         from .dse import SweepSpec, run_sweep
 
         return {"SweepSpec": SweepSpec, "run_sweep": run_sweep}[name]
+    if name == "serve":
+        from . import serve
+
+        return serve
+    if name in ("simulate_traffic", "TenantSpec"):
+        from .serve import TenantSpec, simulate_traffic
+
+        return {
+            "simulate_traffic": simulate_traffic,
+            "TenantSpec": TenantSpec,
+        }[name]
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

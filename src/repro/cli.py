@@ -10,6 +10,8 @@ Examples::
     python -m repro hls --network alexnet --part 485t
     python -m repro dse sweep --networks alexnet squeezenet --parts 485t 690t
     python -m repro dse frontier --store dse_results.jsonl
+    python -m repro serve --network alexnet,googlenet --rate 2000 --part VX485T
+    python -m repro dse rank --store dse_results.jsonl --rate 1500 --p99-ms 80
 """
 
 from __future__ import annotations
@@ -86,6 +88,51 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("validate", help="simulators vs analytic models")
 
+    serve = sub.add_parser(
+        "serve",
+        help="simulate multi-tenant traffic over an optimized design",
+        description="Event-driven, seeded load test of a Multi-CLP design "
+        "(Section 4.1 epoch pipeline; Section 4.3 joint multi-CNN serving). "
+        "With several networks, one joint accelerator serves them all; each "
+        "network is a tenant with its own arrival stream and FIFO queue.",
+    )
+    serve.add_argument("--networks", "--network", dest="networks", nargs="+",
+                       default=["alexnet"], metavar="NET",
+                       help="tenant networks (space- or comma-separated)")
+    serve.add_argument("--part", default="485t")
+    serve.add_argument("--dtype", default="float32")
+    serve.add_argument("--rate", type=float, default=1000.0,
+                       help="request rate per tenant, req/s")
+    serve.add_argument("--rates", nargs="+", type=float, default=None,
+                       metavar="RPS",
+                       help="per-tenant rates (overrides --rate; one per network)")
+    serve.add_argument("--process", default="poisson",
+                       choices=["constant", "poisson", "bursty"])
+    serve.add_argument("--burstiness", type=float, default=4.0,
+                       help="burst rate multiplier for --process bursty")
+    serve.add_argument("--burst-period-ms", type=float, default=5.0,
+                       help="mean on+off burst cycle for --process bursty")
+    serve.add_argument("--duration-ms", type=float, default=100.0,
+                       help="traffic window; floored at 3 pipeline latencies "
+                       "unless --drain is given")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--queue-depth", type=int, default=64)
+    serve.add_argument("--policy", default="drop-tail",
+                       choices=["drop-tail", "drop-head"])
+    serve.add_argument("--frequency-mhz", type=float, default=100.0)
+    serve.add_argument("--bandwidth-gbps", type=float, default=None)
+    serve.add_argument("--max-clps", type=int, default=6)
+    serve.add_argument("--calibrate", default="model",
+                       choices=["model", "simulate"],
+                       help="epoch length from the analytic model or from the "
+                       "cycle-level system simulator")
+    serve.add_argument("--drain", action="store_true",
+                       help="stop arrivals at the horizon but serve out the queues")
+    serve.add_argument("--load", metavar="FILE", default=None,
+                       help="serve a saved design JSON instead of optimizing")
+    serve.add_argument("--save", metavar="FILE", default=None,
+                       help="write the ServeResult to a JSON file")
+
     hls = sub.add_parser("hls", help="emit HLS C++ for an optimized design")
     hls.add_argument("--network", default="alexnet", choices=available_networks())
     hls.add_argument("--part", default="485t")
@@ -138,6 +185,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     status = dse_sub.add_parser("status", help="describe a result store")
     status.add_argument("--store", default="dse_results.jsonl")
+
+    rank = dse_sub.add_parser(
+        "rank", help="rank stored designs by SLO attainment under traffic"
+    )
+    rank.add_argument("--store", default="dse_results.jsonl")
+    rank.add_argument("--rate", type=float, default=1000.0,
+                      help="request rate, req/s")
+    rank.add_argument("--p99-ms", type=float, default=None,
+                      help="tail-latency SLO; unset disables the clause")
+    rank.add_argument("--max-drop-rate", type=float, default=0.0)
+    rank.add_argument("--min-throughput", type=float, default=None,
+                      metavar="RPS")
+    rank.add_argument("--duration-ms", type=float, default=200.0)
+    rank.add_argument("--seed", type=int, default=0)
+    rank.add_argument("--process", default="poisson",
+                      choices=["constant", "poisson", "bursty"])
+    rank.add_argument("--queue-depth", type=int, default=64)
+    rank.add_argument("--policy", default="drop-tail",
+                      choices=["drop-tail", "drop-head"])
     return parser
 
 
@@ -284,6 +350,100 @@ def _cmd_validate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from .serve import (
+        TenantSpec,
+        make_arrival_process,
+        pipeline_latency_cycles,
+        simulate_traffic,
+    )
+
+    from .opt import OptimizationError
+
+    names = [
+        name for entry in args.networks for name in entry.split(",") if name
+    ]
+    cycles_per_second = args.frequency_mhz * 1e6
+    try:
+        if not names:
+            raise ValueError("no networks given")
+        budget = budget_for(
+            args.part,
+            bandwidth_gbps=args.bandwidth_gbps,
+            frequency_mhz=args.frequency_mhz,
+        )
+        dtype = DataType.from_name(args.dtype)
+        if args.load:
+            from .core.serialize import load_design
+
+            design = load_design(args.load)
+            tenant_names = [design.network.name]
+        elif len(names) > 1:
+            from .opt import optimize_joint
+
+            networks = [get_network(name) for name in names]
+            design = optimize_joint(
+                networks, budget, dtype, max_clps=args.max_clps
+            )
+            tenant_names = [network.name for network in networks]
+        else:
+            network = get_network(names[0])
+            design = optimize_multi_clp(
+                network, budget, dtype, max_clps=args.max_clps
+            )
+            tenant_names = [network.name]
+
+        rates = args.rates if args.rates is not None else [args.rate] * len(
+            tenant_names
+        )
+        if len(rates) != len(tenant_names):
+            raise ValueError(
+                f"{len(tenant_names)} tenants but {len(rates)} rates"
+            )
+        tenants = [
+            TenantSpec(
+                name=name,
+                process=make_arrival_process(
+                    args.process,
+                    rate / cycles_per_second,
+                    burstiness=args.burstiness,
+                    period_cycles=args.burst_period_ms * 1e-3 * cycles_per_second,
+                ),
+            )
+            for name, rate in zip(tenant_names, rates)
+        ]
+        duration_cycles = args.duration_ms * 1e-3 * cycles_per_second
+        if not args.drain:
+            # A window shorter than the pipeline can never complete a
+            # request (every latency is >= depth * epoch); floor it so
+            # the default invocation reports real percentiles.
+            duration_cycles = max(
+                duration_cycles,
+                3.0 * pipeline_latency_cycles(design, budget.bytes_per_cycle()),
+            )
+        result = simulate_traffic(
+            design,
+            tenants,
+            duration_cycles=duration_cycles,
+            frequency_mhz=args.frequency_mhz,
+            seed=args.seed,
+            queue_depth=args.queue_depth,
+            policy=args.policy,
+            bytes_per_cycle=budget.bytes_per_cycle(),
+            calibrate=args.calibrate,
+            drain=args.drain,
+        )
+    except (ValueError, OptimizationError) as exc:
+        raise SystemExit(f"repro serve: error: {exc}") from None
+    lines = [result.format()]
+    if args.save:
+        from .core.serialize import dump_serve_result
+
+        dump_serve_result(result, args.save)
+        lines.append(f"serve result written to {args.save}")
+    return "\n".join(lines)
+
+
 def _cmd_hls(args: argparse.Namespace) -> str:
     from .hls import generate_system
 
@@ -317,6 +477,29 @@ def _cmd_dse(args: argparse.Namespace) -> str:
         return frontier_table(
             results, maximize=args.maximize, minimize=args.minimize
         )
+    if args.dse_command == "rank":
+        from .dse import rank_by_traffic, traffic_rank_table
+        from .serve import SLOSpec
+
+        results = ResultStore(args.store).results()
+        if not results:
+            return f"store {args.store} is empty; run `repro dse sweep` first"
+        slo = SLOSpec(
+            p99_ms=args.p99_ms,
+            max_drop_rate=args.max_drop_rate,
+            min_throughput_rps=args.min_throughput,
+        )
+        rankings = rank_by_traffic(
+            results,
+            rate_rps=args.rate,
+            slo=slo,
+            duration_ms=args.duration_ms,
+            seed=args.seed,
+            process=args.process,
+            queue_depth=args.queue_depth,
+            policy=args.policy,
+        )
+        return traffic_rank_table(rankings, rate_rps=args.rate, slo=slo)
 
     if args.parts is not None:
         parts = tuple(args.parts)
@@ -374,6 +557,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _cmd_latency(args)
     elif command == "validate":
         output = _cmd_validate(args)
+    elif command == "serve":
+        output = _cmd_serve(args)
     elif command == "hls":
         output = _cmd_hls(args)
     elif command == "networks":

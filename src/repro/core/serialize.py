@@ -30,10 +30,17 @@ __all__ = [
     "design_from_dict",
     "dump_design",
     "load_design",
+    "serve_result_to_dict",
+    "serve_result_from_dict",
+    "dump_serve_result",
+    "load_serve_result",
     "SCHEMA_VERSION",
+    "SERVE_SCHEMA_VERSION",
 ]
 
 SCHEMA_VERSION = 1
+
+SERVE_SCHEMA_VERSION = 1
 
 
 def layer_to_dict(layer: ConvLayer) -> Dict[str, Any]:
@@ -152,6 +159,80 @@ def design_from_dict(data: Dict[str, Any]) -> MultiCLPDesign:
         clp_from_dict(record, network, dtype) for record in data["clps"]
     ]
     return MultiCLPDesign(network=network, clps=clps, dtype=dtype)
+
+
+def serve_result_to_dict(result: "ServeResult") -> Dict[str, Any]:
+    """A self-contained, JSON-ready record of a traffic simulation.
+
+    Load-test results are evidence: pinning them next to the design they
+    exercised lets a deployment diff serving behaviour across optimizer
+    or model changes the same way it diffs designs.
+    """
+    from dataclasses import asdict
+
+    record = asdict(result)
+    record["schema"] = SERVE_SCHEMA_VERSION
+    return record
+
+
+def serve_result_from_dict(data: Dict[str, Any]) -> "ServeResult":
+    from ..serve.metrics import LatencySummary, ServeResult, TenantStats
+
+    schema = data.get("schema")
+    if schema != SERVE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported serve-result schema {schema!r}; "
+            f"expected {SERVE_SCHEMA_VERSION}"
+        )
+    tenants = []
+    for entry in data["tenants"]:
+        latency = entry.get("latency")
+        tenants.append(
+            TenantStats(
+                name=entry["name"],
+                offered_rate_per_cycle=float(entry["offered_rate_per_cycle"]),
+                arrivals=int(entry["arrivals"]),
+                completions=int(entry["completions"]),
+                drops=int(entry["drops"]),
+                in_flight=int(entry["in_flight"]),
+                latency=None if latency is None else LatencySummary(**latency),
+                mean_queue_depth=float(entry["mean_queue_depth"]),
+                peak_queue_depth=int(entry["peak_queue_depth"]),
+                steady_rate_per_cycle=(
+                    None
+                    if entry.get("steady_rate_per_cycle") is None
+                    else float(entry["steady_rate_per_cycle"])
+                ),
+            )
+        )
+    return ServeResult(
+        design_label=data["design_label"],
+        num_clps=int(data["num_clps"]),
+        epoch_cycles=float(data["epoch_cycles"]),
+        pipeline_depths=tuple(int(d) for d in data["pipeline_depths"]),
+        frequency_mhz=float(data["frequency_mhz"]),
+        horizon_cycles=float(data["horizon_cycles"]),
+        elapsed_cycles=float(data["elapsed_cycles"]),
+        seed=int(data["seed"]),
+        queue_depth=int(data["queue_depth"]),
+        policy=data["policy"],
+        drained=bool(data["drained"]),
+        tenants=tuple(tenants),
+        clp_busy_fraction=tuple(float(f) for f in data["clp_busy_fraction"]),
+    )
+
+
+def dump_serve_result(result: "ServeResult", path: str) -> None:
+    """Write a traffic-simulation result to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(serve_result_to_dict(result), handle, indent=2)
+        handle.write("\n")
+
+
+def load_serve_result(path: str) -> "ServeResult":
+    """Load a result written by :func:`dump_serve_result`."""
+    with open(path) as handle:
+        return serve_result_from_dict(json.load(handle))
 
 
 def dump_design(design: MultiCLPDesign, path: str) -> None:

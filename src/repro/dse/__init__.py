@@ -21,10 +21,13 @@ points record their ``OptimizationError`` instead of aborting the sweep.
 
 from .analysis import (
     METRIC_NAMES,
+    TrafficRanking,
     best_per_group,
     frontier_table,
     pareto_frontier,
+    rank_by_traffic,
     summary_table,
+    traffic_rank_table,
 )
 from .point import DesignPoint, SweepResult, canonical_json, point_key
 from .runner import SweepOutcome, SweepRunner, run_sweep
@@ -43,6 +46,9 @@ __all__ = [
     "best_per_group",
     "summary_table",
     "frontier_table",
+    "TrafficRanking",
+    "rank_by_traffic",
+    "traffic_rank_table",
     "METRIC_NAMES",
     "canonical_json",
     "point_key",

@@ -9,10 +9,15 @@ does the study look like as a table.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..analysis.report import render_table
 from .point import METRIC_NAMES, SweepResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..serve.metrics import ServeResult
+    from ..serve.slo import SLOReport, SLOSpec
 
 __all__ = [
     "METRIC_NAMES",
@@ -20,6 +25,9 @@ __all__ = [
     "best_per_group",
     "summary_table",
     "frontier_table",
+    "TrafficRanking",
+    "rank_by_traffic",
+    "traffic_rank_table",
 ]
 
 #: Axes where smaller is better when used as an objective.
@@ -144,6 +152,145 @@ def summary_table(
     """All results as a fixed-width table (sweep order)."""
     return render_table(
         _SUMMARY_HEADERS, [_summary_row(r) for r in results], title=title
+    )
+
+
+@dataclass(frozen=True)
+class TrafficRanking:
+    """One stored design scored under a concrete traffic scenario."""
+
+    result: SweepResult
+    serve: "ServeResult"
+    report: "SLOReport"
+
+    @property
+    def sort_key(self) -> Tuple:
+        """Meets-SLO first, then attainment, tail latency, and goodput.
+
+        Tail latency outranks goodput: designs that all meet the SLO
+        serve (nearly) the whole offered load, so their goodput differs
+        only by sampling noise of the drained window, while p99 is the
+        real discriminator.  Goodput still breaks p99 ties at overload.
+        """
+        p99 = self.report.worst_p99_ms
+        return (
+            0 if self.report.meets else 1,
+            -self.report.attainment,
+            p99 if p99 is not None else float("inf"),
+            -self.report.total_goodput_rps,
+        )
+
+
+def rank_by_traffic(
+    results: Iterable[SweepResult],
+    rate_rps: float,
+    slo: "SLOSpec",
+    duration_ms: float = 200.0,
+    seed: int = 0,
+    process: str = "poisson",
+    queue_depth: int = 64,
+    policy: str = "drop-tail",
+) -> List[TrafficRanking]:
+    """Rank solved sweep points by SLO attainment under real traffic.
+
+    This is the "best design for this traffic mix" objective: every
+    solved point is rebuilt into a full design, load-tested with a
+    seeded ``process`` stream at ``rate_rps``, and scored against
+    ``slo`` — so a sweep can pick the accelerator that actually *serves*
+    a workload (tail latency, drops) rather than the one with the best
+    steady-state epoch throughput.  Points from the same store solved at
+    different clocks are simulated at their own ``frequency_mhz``.
+
+    Runs are *drained* and the horizon is floored at a few pipeline
+    latencies: a deep general-schedule pipeline (depth = layer count)
+    can exceed a short wall-clock window, and a non-drained run would
+    then report zero completions for every candidate, collapsing the
+    ranking.
+    """
+    from ..networks import get_network
+    from ..serve import (
+        TenantSpec,
+        evaluate_slo,
+        make_arrival_process,
+        pipeline_latency_cycles,
+        simulate_traffic,
+    )
+
+    rankings: List[TrafficRanking] = []
+    for result in results:
+        if not result.ok:
+            continue
+        point = result.point
+        network = get_network(point.network)
+        design = result.design(network)
+        cycles_per_second = point.frequency_mhz * 1e6
+        spec = TenantSpec(
+            name=network.name,
+            process=make_arrival_process(process, rate_rps / cycles_per_second),
+        )
+        bytes_per_cycle = point.budget().bytes_per_cycle()
+        duration_cycles = max(
+            duration_ms * 1e-3 * cycles_per_second,
+            3.0 * pipeline_latency_cycles(design, bytes_per_cycle),
+        )
+        serve = simulate_traffic(
+            design,
+            [spec],
+            duration_cycles=duration_cycles,
+            frequency_mhz=point.frequency_mhz,
+            seed=seed,
+            queue_depth=queue_depth,
+            policy=policy,
+            bytes_per_cycle=bytes_per_cycle,
+            drain=True,
+        )
+        rankings.append(
+            TrafficRanking(
+                result=result, serve=serve, report=evaluate_slo(serve, slo)
+            )
+        )
+    rankings.sort(key=lambda ranking: ranking.sort_key)
+    return rankings
+
+
+def traffic_rank_table(
+    rankings: Sequence[TrafficRanking], rate_rps: float, slo: "SLOSpec"
+) -> str:
+    """SLO ranking rendered as a table (best design first)."""
+    rows = []
+    for rank, entry in enumerate(rankings, start=1):
+        point = entry.result.point
+        p99 = entry.report.worst_p99_ms
+        rows.append(
+            (
+                rank,
+                point.network,
+                point.budget_label,
+                point.dtype,
+                point.mode,
+                entry.serve.num_clps,
+                f"{entry.report.total_goodput_rps:.1f}",
+                "-" if p99 is None else f"{p99:.2f}",
+                f"{entry.report.worst_drop_rate:.1%}",
+                "yes" if entry.report.meets else "NO",
+            )
+        )
+    clauses = []
+    if slo.p99_ms is not None:
+        clauses.append(f"p99<={slo.p99_ms:g}ms")
+    clauses.append(f"drops<={slo.max_drop_rate:.0%}")
+    if slo.min_throughput_rps is not None:
+        clauses.append(f"goodput>={slo.min_throughput_rps:g}r/s")
+    return render_table(
+        (
+            "#", "network", "budget", "dtype", "mode", "CLPs",
+            "goodput r/s", "p99 ms", "drop", "meets SLO",
+        ),
+        rows,
+        title=(
+            f"SLO ranking @ {rate_rps:g} r/s ({', '.join(clauses)}) "
+            f"-- {len(rankings)} designs"
+        ),
     )
 
 

@@ -130,8 +130,17 @@ PART_CATALOG: Dict[str, FpgaPart] = {
 
 
 def get_part(name: str) -> FpgaPart:
-    """Look up an FPGA part by short name (e.g. ``"485t"``, ``"690T"``)."""
+    """Look up an FPGA part by short name (e.g. ``"485t"``, ``"690T"``).
+
+    Vendor-style spellings are accepted too: ``VX485T`` and ``XC7VX690T``
+    resolve to the same catalog entries as the paper's short names.
+    """
     key = name.strip().lower().replace("virtex-7 ", "").replace(" ", "")
+    if key not in PART_CATALOG:
+        for prefix in ("xc7vx", "xc7v", "xc", "vx"):
+            if key.startswith(prefix) and key[len(prefix):] in PART_CATALOG:
+                key = key[len(prefix):]
+                break
     try:
         return PART_CATALOG[key]
     except KeyError:

@@ -1,0 +1,187 @@
+"""Seeded arrival processes for the traffic simulator.
+
+Every process is a frozen value object that, given a
+:class:`random.Random`, yields absolute arrival times in *cycles* in
+strictly non-decreasing order.  Rates are expressed in requests per
+cycle so the simulator stays clock-agnostic; the CLI converts from
+requests/second using the design's clock (``rate_rps / (MHz * 1e6)``).
+
+Four shapes cover the scenarios Section 4 of the paper motivates:
+
+* :class:`ConstantRate` — a deterministic, evenly spaced stream (the
+  classical D/D/1-style load used by the differential tests).
+* :class:`PoissonArrivals` — memoryless open-loop traffic.
+* :class:`BurstyArrivals` — a two-state (on/off) modulated Poisson
+  process: bursts at ``burstiness`` times the mean rate, silence in
+  between, same long-run average rate.
+* :class:`TraceArrivals` — replay of an explicit timestamp list, for
+  driving the simulator with recorded production traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+__all__ = [
+    "ArrivalProcess",
+    "ConstantRate",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "TraceArrivals",
+    "make_arrival_process",
+]
+
+
+class ArrivalProcess:
+    """Base class: a seeded stream of absolute arrival times (cycles)."""
+
+    def times(self, rng: random.Random) -> Iterator[float]:
+        raise NotImplementedError
+
+    @property
+    def mean_rate(self) -> float:
+        """Long-run average arrivals per cycle (0 when unknown)."""
+        raise NotImplementedError
+
+
+def _check_rate(rate: float) -> None:
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+
+
+@dataclass(frozen=True)
+class ConstantRate(ArrivalProcess):
+    """Evenly spaced arrivals at ``rate`` requests per cycle.
+
+    The first request arrives at cycle 0, so a rate-``r`` stream is an
+    exact subset of a rate-``k*r`` stream for integer ``k`` — the
+    property the monotonicity tests lean on.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def times(self, rng: random.Random) -> Iterator[float]:
+        period = 1.0 / self.rate
+        index = 0
+        while True:
+            yield index * period
+            index += 1
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals: exponential gaps with mean ``1/rate``."""
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def times(self, rng: random.Random) -> Iterator[float]:
+        now = 0.0
+        while True:
+            now += rng.expovariate(self.rate)
+            yield now
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """On/off modulated Poisson traffic with long-run average ``rate``.
+
+    The source alternates between *on* phases (Poisson at
+    ``rate * burstiness``) and silent *off* phases.  Phase durations are
+    exponential with means ``period_cycles / burstiness`` (on) and
+    ``period_cycles * (1 - 1/burstiness)`` (off), so the duty cycle is
+    ``1/burstiness`` and the average rate stays ``rate``.
+    """
+
+    rate: float
+    burstiness: float = 4.0
+    period_cycles: float = 200_000.0
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if self.burstiness <= 1.0:
+            raise ValueError(
+                f"burstiness must exceed 1, got {self.burstiness} "
+                "(use ConstantRate or PoissonArrivals for smooth traffic)"
+            )
+        if self.period_cycles <= 0:
+            raise ValueError("period_cycles must be positive")
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    def times(self, rng: random.Random) -> Iterator[float]:
+        on_rate = self.rate * self.burstiness
+        mean_on = self.period_cycles / self.burstiness
+        mean_off = self.period_cycles - mean_on
+        now = 0.0
+        while True:
+            phase_end = now + rng.expovariate(1.0 / mean_on)
+            while True:
+                gap = rng.expovariate(on_rate)
+                if now + gap > phase_end:
+                    break
+                now += gap
+                yield now
+            now = phase_end + rng.expovariate(1.0 / mean_off)
+
+
+@dataclass(frozen=True)
+class TraceArrivals(ArrivalProcess):
+    """Replay an explicit list of arrival times (cycles, sorted)."""
+
+    times_cycles: Tuple[float, ...]
+
+    def __init__(self, times_cycles: Sequence[float]):
+        times = tuple(float(t) for t in times_cycles)
+        for earlier, later in zip(times, times[1:]):
+            if later < earlier:
+                raise ValueError("trace timestamps must be non-decreasing")
+        if times and times[0] < 0:
+            raise ValueError("trace timestamps must be non-negative")
+        object.__setattr__(self, "times_cycles", times)
+
+    @property
+    def mean_rate(self) -> float:
+        if len(self.times_cycles) < 2:
+            return 0.0
+        span = self.times_cycles[-1] - self.times_cycles[0]
+        return (len(self.times_cycles) - 1) / span if span > 0 else 0.0
+
+    def times(self, rng: random.Random) -> Iterator[float]:
+        return iter(self.times_cycles)
+
+
+def make_arrival_process(
+    kind: str,
+    rate_per_cycle: float,
+    burstiness: float = 4.0,
+    period_cycles: float = 200_000.0,
+) -> ArrivalProcess:
+    """Build a process from a CLI-style name (constant/poisson/bursty)."""
+    key = kind.strip().lower()
+    if key == "constant":
+        return ConstantRate(rate_per_cycle)
+    if key == "poisson":
+        return PoissonArrivals(rate_per_cycle)
+    if key == "bursty":
+        return BurstyArrivals(rate_per_cycle, burstiness, period_cycles)
+    raise ValueError(
+        f"unknown arrival process {kind!r}; known: constant, poisson, bursty"
+    )

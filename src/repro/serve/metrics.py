@@ -1,0 +1,197 @@
+"""Per-tenant serving metrics and the :class:`ServeResult` record.
+
+The simulator reduces each run to plain, JSON-friendly dataclasses so a
+load-test can be pinned in version control next to the design it
+exercised (see ``serve_result_to_dict`` in :mod:`repro.core.serialize`).
+Latencies are kept in cycles — the design-space currency of the rest of
+the repo — with millisecond conversions derived from the run's clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["percentile", "LatencySummary", "TenantStats", "ServeResult"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    ``q`` is in [0, 100]; values need not be sorted.  Raises on empty
+    input — callers decide how to represent "no completions".
+    """
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if q == 0:
+        return ordered[0]
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Request latency distribution of one tenant, in cycles."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    min: float
+    max: float
+
+    @classmethod
+    def of(cls, latencies: Sequence[float]) -> Optional["LatencySummary"]:
+        if not latencies:
+            return None
+        return cls(
+            count=len(latencies),
+            mean=sum(latencies) / len(latencies),
+            p50=percentile(latencies, 50),
+            p95=percentile(latencies, 95),
+            p99=percentile(latencies, 99),
+            min=min(latencies),
+            max=max(latencies),
+        )
+
+
+@dataclass(frozen=True)
+class TenantStats:
+    """One tenant's (network's) view of a traffic simulation."""
+
+    name: str
+    offered_rate_per_cycle: float
+    arrivals: int
+    completions: int
+    drops: int
+    in_flight: int
+    latency: Optional[LatencySummary]
+    mean_queue_depth: float
+    peak_queue_depth: int
+    #: (completions - 1) / (last - first completion time): the epoch-rate
+    #: the accelerator actually sustained, independent of warm-up and
+    #: horizon truncation.  ``None`` below two completions.
+    steady_rate_per_cycle: Optional[float]
+
+    @property
+    def drop_rate(self) -> float:
+        return self.drops / self.arrivals if self.arrivals else 0.0
+
+    def completed_rate_per_cycle(self, window_cycles: float) -> float:
+        """Completions per cycle over an observation window.
+
+        Pass the *horizon* (offered-traffic window), not the drained
+        elapsed time: a drained run's tail has no arrivals, and dividing
+        by it would under-report designs with deep pipelines."""
+        return self.completions / window_cycles if window_cycles else 0.0
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Everything one seeded multi-tenant traffic simulation produced.
+
+    ``clp_busy_fraction`` is each CLP's busy time share: admitted images
+    charge the CLP its modelled per-image cycles, so at saturation the
+    epoch-limiting CLP approaches 1.0 and the others approach their
+    Section 4.1 duty factor (``clp.total_cycles / epoch_cycles``).
+    """
+
+    design_label: str
+    num_clps: int
+    epoch_cycles: float
+    pipeline_depths: Tuple[int, ...]  # per tenant, in epochs
+    frequency_mhz: float
+    horizon_cycles: float
+    elapsed_cycles: float
+    seed: int
+    queue_depth: int
+    policy: str
+    drained: bool
+    tenants: Tuple[TenantStats, ...]
+    clp_busy_fraction: Tuple[float, ...]
+
+    # ------------------------------------------------------------ conversions
+    @property
+    def cycles_per_second(self) -> float:
+        return self.frequency_mhz * 1e6
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return cycles / self.cycles_per_second * 1e3
+
+    def rate_to_rps(self, rate_per_cycle: float) -> float:
+        return rate_per_cycle * self.cycles_per_second
+
+    @property
+    def capacity_rps(self) -> float:
+        """One image per tenant per epoch: the analytic service ceiling."""
+        return self.cycles_per_second / self.epoch_cycles
+
+    # ----------------------------------------------------------------- access
+    def tenant(self, name: str) -> TenantStats:
+        for stats in self.tenants:
+            if stats.name == name:
+                return stats
+        raise KeyError(
+            f"no tenant {name!r}; tenants: {[t.name for t in self.tenants]}"
+        )
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(t.arrivals for t in self.tenants)
+
+    @property
+    def total_completions(self) -> int:
+        return sum(t.completions for t in self.tenants)
+
+    # ----------------------------------------------------------------- report
+    def format(self) -> str:
+        from ..analysis.report import render_table
+
+        rows = []
+        for t in self.tenants:
+            if t.latency is None:
+                p50 = p95 = p99 = "-"
+            else:
+                p50 = f"{self.cycles_to_ms(t.latency.p50):.2f}"
+                p95 = f"{self.cycles_to_ms(t.latency.p95):.2f}"
+                p99 = f"{self.cycles_to_ms(t.latency.p99):.2f}"
+            rows.append(
+                (
+                    t.name,
+                    f"{self.rate_to_rps(t.offered_rate_per_cycle):.0f}",
+                    t.arrivals,
+                    t.completions,
+                    f"{self.rate_to_rps(t.completed_rate_per_cycle(self.horizon_cycles)):.1f}",
+                    p50,
+                    p95,
+                    p99,
+                    f"{t.drop_rate:.1%}",
+                    f"{t.mean_queue_depth:.1f}",
+                )
+            )
+        table = render_table(
+            (
+                "tenant", "offered r/s", "arrivals", "done", "goodput r/s",
+                "p50 ms", "p95 ms", "p99 ms", "drop", "avg queue",
+            ),
+            rows,
+            title=(
+                f"{self.design_label}: {self.num_clps} CLPs @ "
+                f"{self.frequency_mhz:.0f}MHz, epoch={self.epoch_cycles:.0f} "
+                f"cycles, capacity={self.capacity_rps:.1f} img/s/tenant, "
+                f"seed={self.seed}"
+            ),
+        )
+        busy = ", ".join(
+            f"CLP{i}={share:.1%}" for i, share in enumerate(self.clp_busy_fraction)
+        )
+        window = (
+            f"simulated {self.cycles_to_ms(self.elapsed_cycles):.1f} ms "
+            f"({self.elapsed_cycles:.0f} cycles)"
+            + (", drained" if self.drained else "")
+        )
+        return f"{table}\nCLP utilization: {busy}\n{window}"

@@ -1,0 +1,357 @@
+"""Event-driven multi-tenant traffic simulation over Multi-CLP designs.
+
+The accelerator model follows Section 4.1 of the paper: a design runs
+back-to-back *epochs* of ``epoch_cycles``; at every epoch boundary each
+tenant (network) may inject one image into the pipeline, and an image
+completes ``pipeline_depth`` epochs after injection — the number of
+in-flight images per tenant (layer count in the general schedule, CLP
+count for latency-constrained adjacent assignments).  A
+:class:`~repro.opt.joint.JointDesign` advances one image of *every*
+member network per epoch (Section 4.3), so each network is a tenant
+with its own admission slot.
+
+On top of that service process sits an open-loop traffic model: seeded
+arrival streams (:mod:`repro.serve.arrivals`) feed bounded per-tenant
+FIFO queues with a drop policy, and the discrete-event engine
+(:class:`repro.sim.engine.Simulator`) interleaves arrivals, epoch
+dispatch, and completions deterministically.  Epoch length can be taken
+from the analytic model (optionally bandwidth-capped through
+:meth:`MultiCLPDesign.epoch_cycles_under_bandwidth`) or calibrated by
+running the cycle-level system simulator
+(:func:`repro.sim.system.simulate_system`) on one epoch.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..core.design import MultiCLPDesign
+from ..opt.joint import _JOINT_SEPARATOR, JointDesign
+from .arrivals import ArrivalProcess
+from .metrics import LatencySummary, ServeResult, TenantStats
+
+__all__ = [
+    "TenantSpec",
+    "DROP_POLICIES",
+    "service_capacity_rps",
+    "pipeline_latency_cycles",
+    "simulate_traffic",
+]
+
+#: Queue-full policies: reject the newcomer, or evict the oldest waiter.
+DROP_POLICIES = ("drop-tail", "drop-head")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One request class: a network name and its arrival process."""
+
+    name: str
+    process: ArrivalProcess
+    #: Optional bound on generated requests (guards open-ended traces).
+    limit: Optional[int] = None
+
+
+def _tenant_plans(
+    design: Union[MultiCLPDesign, JointDesign],
+) -> Tuple[MultiCLPDesign, Dict[str, Tuple[int, Tuple[int, ...]]]]:
+    """Per-tenant (pipeline depth, per-CLP cycles-per-image) from a design."""
+    if isinstance(design, JointDesign):
+        base = design.design
+        plans: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
+        for network in design.networks:
+            prefix = f"{network.name}{_JOINT_SEPARATOR}"
+            per_clp = tuple(
+                sum(
+                    clp.cycles_for(layer)
+                    for layer in clp.layers
+                    if layer.name.startswith(prefix)
+                )
+                for clp in base.clps
+            )
+            # General (Figure 5) schedule: one image per layer position.
+            plans[network.name] = (len(network.layers), per_clp)
+        return base, plans
+    base = design
+    per_clp = tuple(clp.total_cycles for clp in base.clps)
+    return base, {
+        base.network.name: (base.pipeline_depth_images, per_clp)
+    }
+
+
+def service_capacity_rps(
+    design: Union[MultiCLPDesign, JointDesign], frequency_mhz: float
+) -> float:
+    """Analytic serving ceiling: one image per tenant per epoch."""
+    return frequency_mhz * 1e6 / design.epoch_cycles
+
+
+def pipeline_latency_cycles(
+    design: Union[MultiCLPDesign, JointDesign],
+    bytes_per_cycle: Optional[float] = None,
+) -> float:
+    """Worst per-tenant zero-queueing latency: pipeline depth x epoch.
+
+    The shortest horizon at which a request can possibly complete; a
+    simulation window below this reports every request as in-flight
+    (callers that want percentiles should budget a few multiples, or
+    drain)."""
+    base, plans = _tenant_plans(design)
+    epoch = _resolve_epoch(base, bytes_per_cycle, "model")
+    return max(depth for depth, _ in plans.values()) * epoch
+
+
+class _TenantState:
+    """Mutable bookkeeping for one tenant during a run."""
+
+    def __init__(
+        self,
+        spec: TenantSpec,
+        depth_epochs: int,
+        clp_cycles: Tuple[int, ...],
+        queue_depth: int,
+        policy: str,
+    ):
+        self.spec = spec
+        self.depth_epochs = depth_epochs
+        self.clp_cycles = clp_cycles
+        self.queue_depth = queue_depth
+        self.policy = policy
+        self.queue: Deque[float] = deque()
+        self.arrivals = 0
+        self.drops = 0
+        self.completions = 0
+        self.pipeline = 0
+        self.latencies: List[float] = []
+        self.first_completion: Optional[float] = None
+        self.last_completion: Optional[float] = None
+        self.peak_queue = 0
+        self._occupancy_area = 0.0
+        self._occupancy_mark = 0.0
+        self.stream_open = True
+
+    # ------------------------------------------------------------- occupancy
+    def _touch(self, now: float) -> None:
+        self._occupancy_area += len(self.queue) * (now - self._occupancy_mark)
+        self._occupancy_mark = now
+
+    def mean_queue_depth(self, elapsed: float) -> float:
+        if elapsed <= 0:
+            return 0.0
+        # Flush the integral up to the end of the observation window.
+        area = self._occupancy_area + len(self.queue) * (
+            elapsed - self._occupancy_mark
+        )
+        return area / elapsed
+
+    # ---------------------------------------------------------------- events
+    def on_arrival(self, now: float) -> None:
+        self.arrivals += 1
+        self._touch(now)
+        if len(self.queue) >= self.queue_depth:
+            if self.policy == "drop-tail":
+                self.drops += 1
+                return
+            # drop-head: evict the stalest waiter to admit fresh work.
+            self.queue.popleft()
+            self.drops += 1
+        self.queue.append(now)
+        self.peak_queue = max(self.peak_queue, len(self.queue))
+
+    def admit(self, now: float) -> Optional[float]:
+        """Pop the head of the queue into the pipeline; returns arrival time."""
+        if not self.queue:
+            return None
+        self._touch(now)
+        arrival = self.queue.popleft()
+        self.pipeline += 1
+        return arrival
+
+    def on_completion(self, arrival: float, now: float) -> None:
+        self.pipeline -= 1
+        self.completions += 1
+        self.latencies.append(now - arrival)
+        if self.first_completion is None:
+            self.first_completion = now
+        self.last_completion = now
+
+    # ----------------------------------------------------------------- final
+    def stats(self, elapsed: float) -> TenantStats:
+        steady = None
+        if (
+            self.completions >= 2
+            and self.last_completion is not None
+            and self.last_completion > self.first_completion
+        ):
+            steady = (self.completions - 1) / (
+                self.last_completion - self.first_completion
+            )
+        return TenantStats(
+            name=self.spec.name,
+            offered_rate_per_cycle=self.spec.process.mean_rate,
+            arrivals=self.arrivals,
+            completions=self.completions,
+            drops=self.drops,
+            in_flight=len(self.queue) + self.pipeline,
+            latency=LatencySummary.of(self.latencies),
+            mean_queue_depth=self.mean_queue_depth(elapsed),
+            peak_queue_depth=self.peak_queue,
+            steady_rate_per_cycle=steady,
+        )
+
+
+def _resolve_epoch(
+    base: MultiCLPDesign,
+    bytes_per_cycle: Optional[float],
+    calibrate: str,
+) -> float:
+    if calibrate == "model":
+        return base.epoch_cycles_under_bandwidth(bytes_per_cycle)
+    if calibrate == "simulate":
+        from ..sim.system import simulate_system
+
+        return simulate_system(base, bytes_per_cycle=bytes_per_cycle).epoch_cycles
+    raise ValueError(
+        f"unknown calibration {calibrate!r}; expected 'model' or 'simulate'"
+    )
+
+
+def simulate_traffic(
+    design: Union[MultiCLPDesign, JointDesign],
+    tenants: Sequence[TenantSpec],
+    duration_cycles: float,
+    *,
+    frequency_mhz: float = 100.0,
+    seed: int = 0,
+    queue_depth: int = 64,
+    policy: str = "drop-tail",
+    bytes_per_cycle: Optional[float] = None,
+    calibrate: str = "model",
+    drain: bool = False,
+) -> ServeResult:
+    """Drive ``design`` with seeded request streams and measure serving.
+
+    ``tenants`` must name exactly the networks the design serves (any
+    order).  With ``drain=False`` the run is cut at ``duration_cycles``
+    and queued/pipelined requests are reported as in-flight; with
+    ``drain=True`` arrivals stop at the horizon but dispatch continues
+    until every admitted request completes, so
+    ``arrivals == completions + drops`` exactly.
+
+    Determinism: identical arguments (including ``seed``) produce an
+    identical :class:`~repro.serve.metrics.ServeResult`, bit for bit.
+    """
+    from ..sim.engine import Simulator
+
+    if duration_cycles <= 0:
+        raise ValueError("duration_cycles must be positive")
+    if queue_depth < 1:
+        raise ValueError("queue_depth must be at least 1")
+    if policy not in DROP_POLICIES:
+        raise ValueError(f"unknown policy {policy!r}; known: {DROP_POLICIES}")
+
+    base, plans = _tenant_plans(design)
+    offered = [spec.name for spec in tenants]
+    if sorted(offered) != sorted(plans):
+        raise ValueError(
+            f"tenants {sorted(offered)} do not match the design's networks "
+            f"{sorted(plans)}"
+        )
+
+    epoch = _resolve_epoch(base, bytes_per_cycle, calibrate)
+    sim = Simulator()
+    states: List[_TenantState] = []
+    for spec in tenants:
+        depth, clp_cycles = plans[spec.name]
+        states.append(
+            _TenantState(spec, depth, clp_cycles, queue_depth, policy)
+        )
+
+    clp_busy = [0.0] * base.num_clps
+    horizon = float(duration_cycles)
+
+    # Arrivals: one self-rescheduling event chain per tenant, each with
+    # a private RNG keyed by (seed, tenant index, tenant name).
+    def start_stream(state: _TenantState, index: int) -> None:
+        rng = random.Random(f"{seed}/{index}/{state.spec.name}")
+        stream: Iterator[float] = state.spec.process.times(rng)
+        limit = state.spec.limit
+
+        def pump(count: int = 0) -> None:
+            if limit is not None and count >= limit:
+                state.stream_open = False
+                return
+            try:
+                when = next(stream)
+            except StopIteration:
+                state.stream_open = False
+                return
+            if when > horizon:
+                state.stream_open = False
+                return
+
+            def fire() -> None:
+                state.on_arrival(sim.now)
+                pump(count + 1)
+
+            sim.schedule_at(when, fire)
+
+        pump()
+
+    for index, state in enumerate(states):
+        start_stream(state, index)
+
+    def complete(state: _TenantState, arrival: float) -> None:
+        state.on_completion(arrival, sim.now)
+
+    def boundary() -> None:
+        for state in states:
+            arrival = state.admit(sim.now)
+            if arrival is None:
+                continue
+            for clp_index, cycles in enumerate(state.clp_cycles):
+                clp_busy[clp_index] += cycles
+            sim.schedule(
+                state.depth_epochs * epoch,
+                lambda state=state, arrival=arrival: complete(state, arrival),
+            )
+        upcoming = sim.now + epoch
+        pending = any(s.queue or s.stream_open for s in states)
+        if upcoming <= horizon or (drain and pending):
+            sim.schedule(epoch, boundary)
+
+    boundary()  # first dispatch at cycle 0
+
+    if drain:
+        elapsed = max(sim.run(), horizon)
+    else:
+        # The observation window is the horizon even if events ran dry.
+        sim.run(until=horizon)
+        elapsed = horizon
+
+    fractions = tuple(
+        min(1.0, busy / elapsed) if elapsed > 0 else 0.0 for busy in clp_busy
+    )
+    label = (
+        " + ".join(net.name for net in design.networks)
+        if isinstance(design, JointDesign)
+        else base.network.name
+    )
+    return ServeResult(
+        design_label=f"{label} [{base.dtype.label}]",
+        num_clps=base.num_clps,
+        epoch_cycles=epoch,
+        pipeline_depths=tuple(state.depth_epochs for state in states),
+        frequency_mhz=frequency_mhz,
+        horizon_cycles=horizon,
+        elapsed_cycles=elapsed,
+        seed=seed,
+        queue_depth=queue_depth,
+        policy=policy,
+        drained=drain,
+        tenants=tuple(state.stats(elapsed) for state in states),
+        clp_busy_fraction=fractions,
+    )

@@ -1,0 +1,128 @@
+"""Service-level objectives over traffic-simulation results.
+
+A design that wins on raw epoch throughput can still be the wrong
+accelerator for a workload: under bursty traffic a deeper pipeline
+(Section 4.1's general schedule) pays its latency back in queueing
+delay, and a tight BRAM design may drop requests a slightly slower
+design would absorb.  An :class:`SLOSpec` captures the operator's
+contract — tail latency, drop budget, throughput floor — and
+:func:`evaluate_slo` scores a :class:`~repro.serve.metrics.ServeResult`
+against it, giving design-space sweeps (``repro dse rank``) an
+SLO-attainment objective instead of steady-state throughput alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .metrics import ServeResult
+
+__all__ = ["SLOSpec", "TenantVerdict", "SLOReport", "evaluate_slo"]
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """Per-tenant serving contract; ``None`` disables a clause."""
+
+    p99_ms: Optional[float] = None
+    max_drop_rate: float = 0.0
+    min_throughput_rps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.p99_ms is not None and self.p99_ms <= 0:
+            raise ValueError("p99_ms must be positive when set")
+        if not 0 <= self.max_drop_rate <= 1:
+            raise ValueError("max_drop_rate must be a fraction in [0, 1]")
+        if self.min_throughput_rps is not None and self.min_throughput_rps <= 0:
+            raise ValueError("min_throughput_rps must be positive when set")
+
+
+@dataclass(frozen=True)
+class TenantVerdict:
+    """One tenant's measurements against each SLO clause."""
+
+    name: str
+    meets: bool
+    p99_ms: Optional[float]
+    drop_rate: float
+    throughput_rps: float
+    violations: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SLOReport:
+    """SLO attainment of one traffic simulation."""
+
+    meets: bool
+    attainment: float  # fraction of tenants meeting every clause
+    tenants: Tuple[TenantVerdict, ...]
+
+    @property
+    def worst_p99_ms(self) -> Optional[float]:
+        values = [t.p99_ms for t in self.tenants if t.p99_ms is not None]
+        return max(values) if values else None
+
+    @property
+    def worst_drop_rate(self) -> float:
+        return max((t.drop_rate for t in self.tenants), default=0.0)
+
+    @property
+    def total_goodput_rps(self) -> float:
+        return sum(t.throughput_rps for t in self.tenants)
+
+
+def evaluate_slo(result: ServeResult, slo: SLOSpec) -> SLOReport:
+    """Check every tenant of ``result`` against ``slo``.
+
+    A tenant with arrivals but no completions fails any latency or
+    throughput clause outright (its tail latency is effectively
+    unbounded); a tenant that saw no traffic at all trivially passes.
+    """
+    verdicts: List[TenantVerdict] = []
+    for tenant in result.tenants:
+        violations: List[str] = []
+        p99_ms = (
+            result.cycles_to_ms(tenant.latency.p99)
+            if tenant.latency is not None
+            else None
+        )
+        # Rate over the offered window (horizon): a drained run's tail
+        # has no arrivals and must not deflate the measured throughput.
+        throughput = result.rate_to_rps(
+            tenant.completed_rate_per_cycle(result.horizon_cycles)
+        )
+        saw_traffic = tenant.arrivals > 0
+        if slo.p99_ms is not None and saw_traffic:
+            if p99_ms is None:
+                violations.append("p99: no completions")
+            elif p99_ms > slo.p99_ms:
+                violations.append(
+                    f"p99 {p99_ms:.2f}ms > {slo.p99_ms:.2f}ms"
+                )
+        if tenant.drop_rate > slo.max_drop_rate:
+            violations.append(
+                f"drops {tenant.drop_rate:.1%} > {slo.max_drop_rate:.1%}"
+            )
+        if slo.min_throughput_rps is not None and saw_traffic:
+            if throughput < slo.min_throughput_rps:
+                violations.append(
+                    f"throughput {throughput:.1f} < "
+                    f"{slo.min_throughput_rps:.1f} r/s"
+                )
+        verdicts.append(
+            TenantVerdict(
+                name=tenant.name,
+                meets=not violations,
+                p99_ms=p99_ms,
+                drop_rate=tenant.drop_rate,
+                throughput_rps=throughput,
+                violations=tuple(violations),
+            )
+        )
+    met = sum(1 for v in verdicts if v.meets)
+    return SLOReport(
+        meets=met == len(verdicts),
+        attainment=met / len(verdicts) if verdicts else 1.0,
+        tenants=tuple(verdicts),
+    )

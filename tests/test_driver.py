@@ -115,6 +115,7 @@ class TestBandwidthConstrainedOptimization:
         need = design.required_bandwidth_gbps(budget.frequency_mhz)
         assert need <= 2.0 + 1e-6
 
+    @pytest.mark.slow
     def test_tight_bandwidth_slows_design(self):
         loose = optimize_multi_clp(
             alexnet(), budget_for("485t"), FLOAT32

@@ -286,6 +286,7 @@ class TestSweepRunner:
             strip(r) for r in pooled.results
         ]
 
+    @pytest.mark.slow
     def test_infeasible_point_is_captured_not_fatal(self):
         points = [
             DesignPoint.build("alexnet", dsp=500, bram18k=2),   # BRAM-starved

@@ -18,6 +18,8 @@ from repro.networks import get_network
 from repro.opt import optimize_multi_clp
 from repro.sim import simulate_system
 
+pytestmark = pytest.mark.slow  # optimizer end-to-end matrix
+
 SCENARIOS = [
     ("alexnet", "485t", "float32"),
     ("alexnet", "690t", "fixed16"),

@@ -9,7 +9,6 @@ from repro.networks import alexnet, squeezenet
 from repro.opt import (
     combine_networks,
     latency_throughput_frontier,
-    optimize_joint,
     optimize_latency_constrained,
     optimize_multi_clp,
 )
@@ -35,11 +34,11 @@ class TestCombineNetworks:
 
 
 class TestOptimizeJoint:
-    @pytest.fixture(scope="class")
-    def joint(self):
-        return optimize_joint(
-            [alexnet(), squeezenet()], budget_for("690t"), FIXED16
-        )
+    @pytest.fixture
+    def joint(self, joint_design_690t):
+        # Session-scoped canned design from tests/conftest.py: the same
+        # AlexNet+SqueezeNet 690T scenario is shared with test_serve.py.
+        return joint_design_690t
 
     def test_covers_both_networks(self, joint):
         for network_name in ("AlexNet", "SqueezeNet"):

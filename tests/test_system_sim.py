@@ -1,25 +1,12 @@
-"""Tests for the discrete-event Multi-CLP system simulator."""
+"""Tests for the discrete-event Multi-CLP system simulator.
+
+The canned two-layer ``toy_design`` lives in tests/conftest.py and is
+shared with the serving-layer tests (test_serve.py)."""
 
 import pytest
 
-from repro.core.clp import CLPConfig
-from repro.core.datatypes import FLOAT32
-from repro.core.design import MultiCLPDesign
-from repro.core.layer import ConvLayer
-from repro.core.network import Network
 from repro.sim.engine import Simulator
 from repro.sim.system import SharedChannel, simulate_system
-
-
-def toy_design():
-    l1 = ConvLayer("a", n=16, m=32, r=13, c=13, k=3)
-    l2 = ConvLayer("b", n=32, m=32, r=13, c=13, k=3)
-    net = Network("toy", [l1, l2])
-    clps = [
-        CLPConfig(4, 16, [l1], FLOAT32, [(13, 13)]),
-        CLPConfig(8, 16, [l2], FLOAT32, [(13, 13)]),
-    ]
-    return MultiCLPDesign(net, clps, FLOAT32)
 
 
 class TestEngine:
@@ -132,47 +119,47 @@ class TestSharedChannel:
 
 
 class TestSimulateSystem:
-    def test_unlimited_matches_analytic_epoch(self):
-        design = toy_design()
+    def test_unlimited_matches_analytic_epoch(self, toy_design):
+        design = toy_design
         result = simulate_system(design)
         assert result.epoch_cycles == design.epoch_cycles
 
-    def test_all_clps_finish(self):
-        design = toy_design()
+    def test_all_clps_finish(self, toy_design):
+        design = toy_design
         result = simulate_system(design, bytes_per_cycle=2.0)
         assert len(result.clp_finish_cycles) == 2
         assert all(f > 0 for f in result.clp_finish_cycles)
 
-    def test_bandwidth_cap_slows_epoch(self):
-        design = toy_design()
+    def test_bandwidth_cap_slows_epoch(self, toy_design):
+        design = toy_design
         free = simulate_system(design).epoch_cycles
         capped = simulate_system(design, bytes_per_cycle=0.5).epoch_cycles
         assert capped > free
 
-    def test_sim_close_to_analytic_under_cap(self):
-        design = toy_design()
+    def test_sim_close_to_analytic_under_cap(self, toy_design):
+        design = toy_design
         for bw in (0.5, 1.0, 4.0, 16.0):
             sim_epoch = simulate_system(design, bytes_per_cycle=bw).epoch_cycles
             analytic = design.epoch_cycles_under_bandwidth(bw)
             assert sim_epoch == pytest.approx(analytic, rel=0.2)
 
-    def test_modelled_bandwidth_is_sufficient(self):
+    def test_modelled_bandwidth_is_sufficient(self, toy_design):
         # Provisioning the modelled requirement keeps the simulated epoch
         # within ~10% of the unconstrained epoch.
-        design = toy_design()
+        design = toy_design
         need = design.required_bandwidth_bytes_per_cycle()
         result = simulate_system(design, bytes_per_cycle=need * 1.1)
         assert result.epoch_cycles <= design.epoch_cycles * 1.1
 
-    def test_channel_statistics(self):
-        design = toy_design()
+    def test_channel_statistics(self, toy_design):
+        design = toy_design
         result = simulate_system(design, bytes_per_cycle=4.0)
         assert 0 < result.channel_utilization() <= 1.0 + 1e-9
         words = sum(clp.total_transfer_words for clp in design.clps)
         assert result.bytes_moved == pytest.approx(words * 4)
 
-    def test_equal_share_mode(self):
-        design = toy_design()
+    def test_equal_share_mode(self, toy_design):
+        design = toy_design
         result = simulate_system(
             design, bytes_per_cycle=2.0, proportional_shares=False
         )
