@@ -1,0 +1,124 @@
+"""Cluster-engine speed: simulated fleet requests per wall-clock second.
+
+The fleet simulator multiplies the serving engine's work by the replica
+count (N epoch boundary chains, balancer routing on every arrival), and
+the capacity planner runs O(log n) whole fleet simulations per probe —
+so the cluster loop's host throughput bounds how big a provisioning
+study can be.  This benchmark saturates a 4-replica AlexNet 485T fleet
+through the power-of-two balancer and reports simulated requests per
+second of host time, plus the end-to-end wall time of one capacity
+plan.
+
+Bands: the cluster engine must stay above 10k simulated requests/s, a
+drained run must conserve requests exactly across replicas, and the
+1-replica differential must hold (the engine is only trusted because it
+reduces to ``repro.serve``).
+
+Numbers land twice: a human-readable artifact and machine-readable
+``BENCH_fleet.json`` (req/s, wall time) for the perf trajectory CI
+tracks across commits.
+"""
+
+import time
+
+from conftest import bench_scale
+
+from repro.core.datatypes import FLOAT32
+from repro.fleet import DeviceSpec, plan_capacity, simulate_fleet
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet
+from repro.opt import optimize_multi_clp
+from repro.serve import ConstantRate, SLOSpec, TenantSpec, simulate_traffic
+
+EPOCHS = bench_scale(full=2_000, smoke=200)
+REPLICAS = 4
+
+
+def _run_once(device):
+    epoch = device.resolve_epoch()
+    # 2x aggregate capacity keeps every replica's queue full.
+    process = ConstantRate(2.0 * REPLICAS / epoch)
+    return simulate_fleet(
+        device.replicated(REPLICAS),
+        [TenantSpec("AlexNet", process)],
+        duration_cycles=EPOCHS * epoch,
+        balancer="power-of-two",
+        queue_depth=10 * EPOCHS * REPLICAS,
+        drain=True,
+    )
+
+
+def test_fleet_engine_speed(benchmark, record_artifact, record_bench_json):
+    design = optimize_multi_clp(alexnet(), budget_for("485t"), FLOAT32)
+    device = DeviceSpec(design, part="485t")
+
+    started = time.perf_counter()
+    result = benchmark.pedantic(lambda: _run_once(device), rounds=1, iterations=1)
+    elapsed = time.perf_counter() - started
+
+    tenant = result.tenants[0]
+    assert tenant.arrivals == tenant.completions + tenant.drops
+    # Saturated: every replica admits ~one image per epoch.
+    assert tenant.completions >= REPLICAS * (EPOCHS - 1)
+    assert result.num_replicas == REPLICAS
+
+    requests_per_s = tenant.arrivals / elapsed
+
+    # One capacity plan end-to-end (the operation dse cost amortizes).
+    epoch = device.resolve_epoch()
+    capacity_rps = 1e8 / epoch
+    plan_started = time.perf_counter()
+    plan = plan_capacity(
+        device,
+        2.5 * capacity_rps,
+        SLOSpec(max_drop_rate=0.0),
+        max_replicas=8,
+        duration_ms=EPOCHS * epoch / 1e8 * 1e3 / 4,
+        # Shallow queues: a board running at its ceiling must shed load,
+        # so the drop-free SLO genuinely needs ~rate/capacity boards.
+        queue_depth=4,
+    )
+    plan_elapsed = time.perf_counter() - plan_started
+    assert plan.meets and plan.replicas >= 3
+
+    # Differential spot check: 1 replica == the single-device engine.
+    process = ConstantRate(1.5 / epoch)
+    window = 50 * epoch
+    solo = simulate_traffic(
+        design, [TenantSpec("AlexNet", process)], window, seed=3, drain=True
+    )
+    one = simulate_fleet(
+        device, [TenantSpec("AlexNet", process)], window, seed=3, drain=True
+    )
+    assert one.tenants == solo.tenants
+
+    artifact = "\n".join(
+        [
+            f"fleet engine speed ({REPLICAS}x AlexNet 485T, power-of-two, saturated)",
+            f"  simulated epochs:    {EPOCHS}",
+            f"  simulated requests:  {tenant.arrivals}",
+            f"  wall-clock:          {elapsed:.3f} s",
+            f"  simulated req/s:     {requests_per_s:,.0f}",
+            f"  completions:         {tenant.completions}",
+            f"  capacity plan:       {plan.replicas} replicas "
+            f"in {plan_elapsed:.3f} s ({len(plan.probes)} probes)",
+        ]
+    )
+    record_artifact("bench_fleet", artifact)
+    record_bench_json(
+        "fleet",
+        {
+            "replicas": REPLICAS,
+            "simulated_epochs": EPOCHS,
+            "simulated_requests": tenant.arrivals,
+            "completions": tenant.completions,
+            "wall_time_s": elapsed,
+            "requests_per_s": requests_per_s,
+            "plan_wall_time_s": plan_elapsed,
+            "plan_replicas": plan.replicas,
+            "plan_probes": len(plan.probes),
+        },
+    )
+    assert requests_per_s > 10_000, (
+        f"fleet engine too slow: {requests_per_s:,.0f} simulated req/s"
+    )

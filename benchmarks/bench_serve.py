@@ -9,9 +9,15 @@ requests the event loop processes per second of host time.
 Bands: the engine must stay comfortably above 10k simulated requests/s
 (each request is ~4 heap events), and a drained run must conserve
 requests exactly (arrivals == completions + drops).
+
+Numbers land twice: a human-readable artifact and machine-readable
+``BENCH_serve.json`` (req/s, wall time) for the perf trajectory CI
+tracks across commits.
 """
 
 import time
+
+from conftest import bench_scale
 
 from repro.core.datatypes import FLOAT32
 from repro.fpga.parts import budget_for
@@ -19,7 +25,7 @@ from repro.networks import alexnet
 from repro.opt import optimize_multi_clp
 from repro.serve import ConstantRate, TenantSpec, simulate_traffic
 
-EPOCHS = 2_000
+EPOCHS = bench_scale(full=2_000, smoke=200)
 
 
 def _run_once(design):
@@ -35,7 +41,7 @@ def _run_once(design):
     )
 
 
-def test_serve_engine_speed(benchmark, record_artifact):
+def test_serve_engine_speed(benchmark, record_artifact, record_bench_json):
     design = optimize_multi_clp(alexnet(), budget_for("485t"), FLOAT32)
 
     started = time.perf_counter()
@@ -58,6 +64,16 @@ def test_serve_engine_speed(benchmark, record_artifact):
         ]
     )
     record_artifact("bench_serve", artifact)
+    record_bench_json(
+        "serve",
+        {
+            "simulated_epochs": EPOCHS,
+            "simulated_requests": tenant.arrivals,
+            "completions": tenant.completions,
+            "wall_time_s": elapsed,
+            "requests_per_s": requests_per_s,
+        },
+    )
     assert requests_per_s > 10_000, (
         f"serve engine too slow: {requests_per_s:,.0f} simulated req/s"
     )

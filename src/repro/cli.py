@@ -12,6 +12,9 @@ Examples::
     python -m repro dse frontier --store dse_results.jsonl
     python -m repro serve --network alexnet,googlenet --rate 2000 --part VX485T
     python -m repro dse rank --store dse_results.jsonl --rate 1500 --p99-ms 80
+    python -m repro fleet simulate --network alexnet --replicas 4 --rate 20000
+    python -m repro fleet plan --network alexnet --rate 30000 --p99-ms 60
+    python -m repro dse cost --store dse_results.jsonl --rate 20000 --p99-ms 80
 """
 
 from __future__ import annotations
@@ -133,6 +136,96 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--save", metavar="FILE", default=None,
                        help="write the ServeResult to a JSON file")
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="multi-FPGA cluster simulation and capacity planning",
+        description="Scale-out layer over `repro serve`: N replicas of an "
+        "optimized design share the arrival streams through a pluggable "
+        "load balancer; a capacity planner binary-searches the minimum "
+        "fleet meeting an SLO, and a reactive autoscaler steps between "
+        "traffic windows.",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+    from .fleet.balancer import BALANCER_NAMES
+
+    def add_fleet_design_args(p) -> None:
+        p.add_argument("--networks", "--network", dest="networks", nargs="+",
+                       default=["alexnet"], metavar="NET",
+                       help="tenant networks (space- or comma-separated; "
+                       "several networks build one joint design per replica)")
+        p.add_argument("--part", default="485t")
+        p.add_argument("--dtype", default="float32")
+        p.add_argument("--max-clps", type=int, default=6)
+        p.add_argument("--frequency-mhz", type=float, default=100.0)
+        p.add_argument("--bandwidth-gbps", type=float, default=None)
+        p.add_argument("--calibrate", default="model",
+                       choices=["model", "simulate"])
+        p.add_argument("--load", metavar="FILE", default=None,
+                       help="replicate a saved design JSON instead of "
+                       "optimizing")
+        p.add_argument("--balancer", default="round-robin",
+                       choices=list(BALANCER_NAMES))
+        p.add_argument("--queue-depth", type=int, default=64)
+        p.add_argument("--policy", default="drop-tail",
+                       choices=["drop-tail", "drop-head"])
+        p.add_argument("--seed", type=int, default=0)
+
+    fsim = fleet_sub.add_parser(
+        "simulate", help="simulate traffic over a replicated fleet"
+    )
+    add_fleet_design_args(fsim)
+    fsim.add_argument("--replicas", type=int, default=2)
+    fsim.add_argument("--rate", type=float, default=1000.0,
+                      help="request rate per tenant, req/s")
+    fsim.add_argument("--rates", nargs="+", type=float, default=None,
+                      metavar="RPS",
+                      help="per-tenant rates (overrides --rate)")
+    fsim.add_argument("--process", default="poisson",
+                      choices=["constant", "poisson", "bursty"])
+    fsim.add_argument("--burstiness", type=float, default=4.0)
+    fsim.add_argument("--burst-period-ms", type=float, default=5.0)
+    fsim.add_argument("--duration-ms", type=float, default=100.0,
+                      help="traffic window; floored at 3 pipeline latencies "
+                      "unless --drain is given")
+    fsim.add_argument("--drain", action="store_true",
+                      help="stop arrivals at the horizon but serve out queues")
+    fsim.add_argument("--save", metavar="FILE", default=None,
+                      help="write the FleetResult to a JSON file")
+
+    fplan = fleet_sub.add_parser(
+        "plan", help="minimum replicas meeting an SLO at a target rate"
+    )
+    add_fleet_design_args(fplan)
+    fplan.add_argument("--rate", type=float, default=1000.0,
+                       help="offered rate per tenant, req/s")
+    fplan.add_argument("--p99-ms", type=float, default=None,
+                       help="tail-latency SLO; unset disables the clause")
+    fplan.add_argument("--max-drop-rate", type=float, default=0.0)
+    fplan.add_argument("--min-throughput", type=float, default=None,
+                       metavar="RPS")
+    fplan.add_argument("--max-replicas", type=int, default=64)
+    fplan.add_argument("--duration-ms", type=float, default=100.0)
+
+    fauto = fleet_sub.add_parser(
+        "autoscale", help="step a reactive autoscaler across traffic windows"
+    )
+    add_fleet_design_args(fauto)
+    fauto.add_argument("--rates", nargs="+", type=float, required=True,
+                       metavar="RPS",
+                       help="per-window offered rate schedule, req/s per tenant")
+    fauto.add_argument("--window-ms", type=float, default=50.0)
+    fauto.add_argument("--min-replicas", type=int, default=1)
+    fauto.add_argument("--max-replicas", type=int, default=16)
+    fauto.add_argument("--step", type=int, default=1)
+    fauto.add_argument("--p99-high-ms", type=float, default=None,
+                       help="scale up when observed p99 exceeds this")
+    fauto.add_argument("--queue-high", type=float, default=8.0,
+                       help="scale up when mean queue/replica exceeds this")
+    fauto.add_argument("--p99-low-ms", type=float, default=None)
+    fauto.add_argument("--queue-low", type=float, default=1.0,
+                       help="scale down when mean queue/replica is below this")
+    fauto.add_argument("--initial-replicas", type=int, default=None)
+
     hls = sub.add_parser("hls", help="emit HLS C++ for an optimized design")
     hls.add_argument("--network", default="alexnet", choices=available_networks())
     hls.add_argument("--part", default="485t")
@@ -203,6 +296,30 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["constant", "poisson", "bursty"])
     rank.add_argument("--queue-depth", type=int, default=64)
     rank.add_argument("--policy", default="drop-tail",
+                      choices=["drop-tail", "drop-head"])
+
+    cost = dse_sub.add_parser(
+        "cost",
+        help="rank stored designs by fleet cost to serve an SLO",
+        description="Capacity-plan every solved sweep point (minimum "
+        "replicas meeting the SLO at the target rate) and rank by "
+        "boards-needed x relative board cost — the provisioning view of "
+        "a sweep, as opposed to `rank`'s per-board SLO attainment.",
+    )
+    cost.add_argument("--store", default="dse_results.jsonl")
+    cost.add_argument("--rate", type=float, default=1000.0,
+                      help="offered rate per tenant, req/s")
+    cost.add_argument("--p99-ms", type=float, default=None)
+    cost.add_argument("--max-drop-rate", type=float, default=0.0)
+    cost.add_argument("--min-throughput", type=float, default=None,
+                      metavar="RPS")
+    cost.add_argument("--max-replicas", type=int, default=32)
+    cost.add_argument("--duration-ms", type=float, default=100.0)
+    cost.add_argument("--seed", type=int, default=0)
+    cost.add_argument("--balancer", default="least-outstanding",
+                      choices=list(BALANCER_NAMES))
+    cost.add_argument("--queue-depth", type=int, default=64)
+    cost.add_argument("--policy", default="drop-tail",
                       choices=["drop-tail", "drop-head"])
     return parser
 
@@ -350,77 +467,93 @@ def _cmd_validate(args: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _cmd_serve(args: argparse.Namespace) -> str:
-    from .serve import (
-        TenantSpec,
-        make_arrival_process,
-        pipeline_latency_cycles,
-        simulate_traffic,
+def _split_network_names(entries: List[str]) -> List[str]:
+    names = [name for entry in entries for name in entry.split(",") if name]
+    if not names:
+        raise ValueError("no networks given")
+    return names
+
+
+def _serving_design(args: argparse.Namespace, names: List[str], budget, dtype):
+    """(design, tenant names) from ``--load`` or by optimizing ``names``.
+
+    Shared by ``repro serve`` and the ``repro fleet`` subcommands: one
+    network optimizes a Multi-CLP design, several build a joint
+    accelerator serving them all, and ``--load`` replays a pinned JSON.
+    """
+    if args.load:
+        from .core.serialize import load_design
+
+        design = load_design(args.load)
+        return design, [design.network.name]
+    if len(names) > 1:
+        from .opt import optimize_joint
+
+        networks = [get_network(name) for name in names]
+        design = optimize_joint(networks, budget, dtype, max_clps=args.max_clps)
+        return design, [network.name for network in networks]
+    network = get_network(names[0])
+    design = optimize_multi_clp(network, budget, dtype, max_clps=args.max_clps)
+    return design, [network.name]
+
+
+def _tenant_specs(args: argparse.Namespace, tenant_names, cycles_per_second):
+    """Per-tenant arrival streams from the shared traffic arguments."""
+    from .serve import TenantSpec, make_arrival_process
+
+    rates = args.rates if args.rates is not None else [args.rate] * len(
+        tenant_names
     )
+    if len(rates) != len(tenant_names):
+        raise ValueError(f"{len(tenant_names)} tenants but {len(rates)} rates")
+    return [
+        TenantSpec(
+            name=name,
+            process=make_arrival_process(
+                args.process,
+                rate / cycles_per_second,
+                burstiness=args.burstiness,
+                period_cycles=args.burst_period_ms * 1e-3 * cycles_per_second,
+            ),
+        )
+        for name, rate in zip(tenant_names, rates)
+    ]
+
+
+def _traffic_window_cycles(args: argparse.Namespace, design, budget) -> float:
+    """``--duration-ms`` in cycles, floored for non-drained windows.
+
+    A window shorter than the pipeline can never complete a request
+    (every latency is >= depth * epoch); floor it at a few pipeline
+    latencies so the default invocation reports real percentiles.
+    """
+    from .serve import pipeline_latency_cycles
+
+    duration_cycles = args.duration_ms * 1e-3 * budget.cycles_per_second
+    if not args.drain:
+        duration_cycles = max(
+            duration_cycles,
+            3.0 * pipeline_latency_cycles(design, budget.bytes_per_cycle()),
+        )
+    return duration_cycles
+
+
+def _cmd_serve(args: argparse.Namespace) -> str:
+    from .serve import simulate_traffic
 
     from .opt import OptimizationError
 
-    names = [
-        name for entry in args.networks for name in entry.split(",") if name
-    ]
-    cycles_per_second = args.frequency_mhz * 1e6
     try:
-        if not names:
-            raise ValueError("no networks given")
+        names = _split_network_names(args.networks)
         budget = budget_for(
             args.part,
             bandwidth_gbps=args.bandwidth_gbps,
             frequency_mhz=args.frequency_mhz,
         )
         dtype = DataType.from_name(args.dtype)
-        if args.load:
-            from .core.serialize import load_design
-
-            design = load_design(args.load)
-            tenant_names = [design.network.name]
-        elif len(names) > 1:
-            from .opt import optimize_joint
-
-            networks = [get_network(name) for name in names]
-            design = optimize_joint(
-                networks, budget, dtype, max_clps=args.max_clps
-            )
-            tenant_names = [network.name for network in networks]
-        else:
-            network = get_network(names[0])
-            design = optimize_multi_clp(
-                network, budget, dtype, max_clps=args.max_clps
-            )
-            tenant_names = [network.name]
-
-        rates = args.rates if args.rates is not None else [args.rate] * len(
-            tenant_names
-        )
-        if len(rates) != len(tenant_names):
-            raise ValueError(
-                f"{len(tenant_names)} tenants but {len(rates)} rates"
-            )
-        tenants = [
-            TenantSpec(
-                name=name,
-                process=make_arrival_process(
-                    args.process,
-                    rate / cycles_per_second,
-                    burstiness=args.burstiness,
-                    period_cycles=args.burst_period_ms * 1e-3 * cycles_per_second,
-                ),
-            )
-            for name, rate in zip(tenant_names, rates)
-        ]
-        duration_cycles = args.duration_ms * 1e-3 * cycles_per_second
-        if not args.drain:
-            # A window shorter than the pipeline can never complete a
-            # request (every latency is >= depth * epoch); floor it so
-            # the default invocation reports real percentiles.
-            duration_cycles = max(
-                duration_cycles,
-                3.0 * pipeline_latency_cycles(design, budget.bytes_per_cycle()),
-            )
+        design, tenant_names = _serving_design(args, names, budget, dtype)
+        tenants = _tenant_specs(args, tenant_names, budget.cycles_per_second)
+        duration_cycles = _traffic_window_cycles(args, design, budget)
         result = simulate_traffic(
             design,
             tenants,
@@ -442,6 +575,112 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         dump_serve_result(result, args.save)
         lines.append(f"serve result written to {args.save}")
     return "\n".join(lines)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> str:
+    from .opt import OptimizationError
+    from .serve import SLOSpec
+    from .fleet import (
+        AutoscalerPolicy,
+        DeviceSpec,
+        autoscale,
+        plan_capacity,
+        simulate_fleet,
+    )
+
+    try:
+        names = _split_network_names(args.networks)
+        budget = budget_for(
+            args.part,
+            bandwidth_gbps=args.bandwidth_gbps,
+            frequency_mhz=args.frequency_mhz,
+        )
+        dtype = DataType.from_name(args.dtype)
+        design, tenant_names = _serving_design(args, names, budget, dtype)
+        device = DeviceSpec(
+            design=design,
+            part=args.part,
+            bytes_per_cycle=budget.bytes_per_cycle(),
+            calibrate=args.calibrate,
+        )
+
+        if args.fleet_command == "simulate":
+            if args.replicas < 1:
+                raise ValueError("--replicas must be at least 1")
+            tenants = _tenant_specs(
+                args, tenant_names, budget.cycles_per_second
+            )
+            duration_cycles = _traffic_window_cycles(args, design, budget)
+            result = simulate_fleet(
+                device.replicated(args.replicas),
+                tenants,
+                duration_cycles=duration_cycles,
+                balancer=args.balancer,
+                frequency_mhz=args.frequency_mhz,
+                seed=args.seed,
+                queue_depth=args.queue_depth,
+                policy=args.policy,
+                drain=args.drain,
+            )
+            lines = [result.format()]
+            if args.save:
+                from .core.serialize import dump_fleet_result
+
+                dump_fleet_result(result, args.save)
+                lines.append(f"fleet result written to {args.save}")
+            return "\n".join(lines)
+
+        if args.fleet_command == "plan":
+            slo = SLOSpec(
+                p99_ms=args.p99_ms,
+                max_drop_rate=args.max_drop_rate,
+                min_throughput_rps=args.min_throughput,
+            )
+            plan = plan_capacity(
+                device,
+                args.rate,
+                slo,
+                max_replicas=args.max_replicas,
+                duration_ms=args.duration_ms,
+                seed=args.seed,
+                balancer=args.balancer,
+                queue_depth=args.queue_depth,
+                policy=args.policy,
+                frequency_mhz=args.frequency_mhz,
+            )
+            lines = [plan.format()]
+            if plan.meets and plan.result is not None:
+                lines.append("")
+                lines.append(plan.result.format())
+            return "\n".join(lines)
+
+        # autoscale
+        policy = AutoscalerPolicy(
+            min_replicas=args.min_replicas,
+            max_replicas=args.max_replicas,
+            step=args.step,
+            p99_high_ms=args.p99_high_ms,
+            queue_high=args.queue_high,
+            p99_low_ms=args.p99_low_ms,
+            queue_low=args.queue_low,
+        )
+        trace = autoscale(
+            device,
+            args.rates,
+            policy,
+            window_ms=args.window_ms,
+            initial_replicas=args.initial_replicas,
+            seed=args.seed,
+            balancer=args.balancer,
+            queue_depth=args.queue_depth,
+            drop_policy=args.policy,
+            frequency_mhz=args.frequency_mhz,
+        )
+        return trace.format()
+    except (ValueError, OptimizationError) as exc:
+        raise SystemExit(
+            f"repro fleet {args.fleet_command}: error: {exc}"
+        ) from None
 
 
 def _cmd_hls(args: argparse.Namespace) -> str:
@@ -500,6 +739,30 @@ def _cmd_dse(args: argparse.Namespace) -> str:
             policy=args.policy,
         )
         return traffic_rank_table(rankings, rate_rps=args.rate, slo=slo)
+    if args.dse_command == "cost":
+        from .dse import cost_to_serve_table, rank_by_cost_to_serve
+        from .serve import SLOSpec
+
+        results = ResultStore(args.store).results()
+        if not results:
+            return f"store {args.store} is empty; run `repro dse sweep` first"
+        slo = SLOSpec(
+            p99_ms=args.p99_ms,
+            max_drop_rate=args.max_drop_rate,
+            min_throughput_rps=args.min_throughput,
+        )
+        rankings = rank_by_cost_to_serve(
+            results,
+            rate_rps=args.rate,
+            slo=slo,
+            max_replicas=args.max_replicas,
+            duration_ms=args.duration_ms,
+            seed=args.seed,
+            balancer=args.balancer,
+            queue_depth=args.queue_depth,
+            policy=args.policy,
+        )
+        return cost_to_serve_table(rankings, rate_rps=args.rate, slo=slo)
 
     if args.parts is not None:
         parts = tuple(args.parts)
@@ -559,6 +822,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _cmd_validate(args)
     elif command == "serve":
         output = _cmd_serve(args)
+    elif command == "fleet":
+        output = _cmd_fleet(args)
     elif command == "hls":
         output = _cmd_hls(args)
     elif command == "networks":

@@ -34,13 +34,20 @@ __all__ = [
     "serve_result_from_dict",
     "dump_serve_result",
     "load_serve_result",
+    "fleet_result_to_dict",
+    "fleet_result_from_dict",
+    "dump_fleet_result",
+    "load_fleet_result",
     "SCHEMA_VERSION",
     "SERVE_SCHEMA_VERSION",
+    "FLEET_SCHEMA_VERSION",
 ]
 
 SCHEMA_VERSION = 1
 
 SERVE_SCHEMA_VERSION = 1
+
+FLEET_SCHEMA_VERSION = 1
 
 
 def layer_to_dict(layer: ConvLayer) -> Dict[str, Any]:
@@ -175,8 +182,31 @@ def serve_result_to_dict(result: "ServeResult") -> Dict[str, Any]:
     return record
 
 
+def _tenant_stats_from_dict(entry: Dict[str, Any]) -> "TenantStats":
+    """Rebuild one per-tenant record (shared by serve and fleet loaders)."""
+    from ..serve.metrics import LatencySummary, TenantStats
+
+    latency = entry.get("latency")
+    return TenantStats(
+        name=entry["name"],
+        offered_rate_per_cycle=float(entry["offered_rate_per_cycle"]),
+        arrivals=int(entry["arrivals"]),
+        completions=int(entry["completions"]),
+        drops=int(entry["drops"]),
+        in_flight=int(entry["in_flight"]),
+        latency=None if latency is None else LatencySummary(**latency),
+        mean_queue_depth=float(entry["mean_queue_depth"]),
+        peak_queue_depth=int(entry["peak_queue_depth"]),
+        steady_rate_per_cycle=(
+            None
+            if entry.get("steady_rate_per_cycle") is None
+            else float(entry["steady_rate_per_cycle"])
+        ),
+    )
+
+
 def serve_result_from_dict(data: Dict[str, Any]) -> "ServeResult":
-    from ..serve.metrics import LatencySummary, ServeResult, TenantStats
+    from ..serve.metrics import ServeResult
 
     schema = data.get("schema")
     if schema != SERVE_SCHEMA_VERSION:
@@ -184,27 +214,7 @@ def serve_result_from_dict(data: Dict[str, Any]) -> "ServeResult":
             f"unsupported serve-result schema {schema!r}; "
             f"expected {SERVE_SCHEMA_VERSION}"
         )
-    tenants = []
-    for entry in data["tenants"]:
-        latency = entry.get("latency")
-        tenants.append(
-            TenantStats(
-                name=entry["name"],
-                offered_rate_per_cycle=float(entry["offered_rate_per_cycle"]),
-                arrivals=int(entry["arrivals"]),
-                completions=int(entry["completions"]),
-                drops=int(entry["drops"]),
-                in_flight=int(entry["in_flight"]),
-                latency=None if latency is None else LatencySummary(**latency),
-                mean_queue_depth=float(entry["mean_queue_depth"]),
-                peak_queue_depth=int(entry["peak_queue_depth"]),
-                steady_rate_per_cycle=(
-                    None
-                    if entry.get("steady_rate_per_cycle") is None
-                    else float(entry["steady_rate_per_cycle"])
-                ),
-            )
-        )
+    tenants = [_tenant_stats_from_dict(entry) for entry in data["tenants"]]
     return ServeResult(
         design_label=data["design_label"],
         num_clps=int(data["num_clps"]),
@@ -220,6 +230,74 @@ def serve_result_from_dict(data: Dict[str, Any]) -> "ServeResult":
         tenants=tuple(tenants),
         clp_busy_fraction=tuple(float(f) for f in data["clp_busy_fraction"]),
     )
+
+
+def fleet_result_to_dict(result: "FleetResult") -> Dict[str, Any]:
+    """A self-contained, JSON-ready record of a fleet simulation.
+
+    Same rationale as serve results: a capacity decision ("4 boards of
+    this design meet the SLO") is evidence worth pinning next to the
+    design and traffic assumptions it was derived from.
+    """
+    from dataclasses import asdict
+
+    record = asdict(result)
+    record["schema"] = FLEET_SCHEMA_VERSION
+    return record
+
+
+def fleet_result_from_dict(data: Dict[str, Any]) -> "FleetResult":
+    from ..fleet.metrics import FleetResult, ReplicaStats
+
+    schema = data.get("schema")
+    if schema != FLEET_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported fleet-result schema {schema!r}; "
+            f"expected {FLEET_SCHEMA_VERSION}"
+        )
+    replicas = [
+        ReplicaStats(
+            label=entry["label"],
+            part=entry.get("part"),
+            epoch_cycles=float(entry["epoch_cycles"]),
+            pipeline_depths=tuple(int(d) for d in entry["pipeline_depths"]),
+            tenants=tuple(
+                _tenant_stats_from_dict(t) for t in entry["tenants"]
+            ),
+            clp_busy_fraction=tuple(
+                float(f) for f in entry["clp_busy_fraction"]
+            ),
+        )
+        for entry in data["replicas"]
+    ]
+    return FleetResult(
+        balancer=data["balancer"],
+        num_replicas=int(data["num_replicas"]),
+        frequency_mhz=float(data["frequency_mhz"]),
+        horizon_cycles=float(data["horizon_cycles"]),
+        elapsed_cycles=float(data["elapsed_cycles"]),
+        seed=int(data["seed"]),
+        queue_depth=int(data["queue_depth"]),
+        policy=data["policy"],
+        drained=bool(data["drained"]),
+        tenants=tuple(
+            _tenant_stats_from_dict(entry) for entry in data["tenants"]
+        ),
+        replicas=tuple(replicas),
+    )
+
+
+def dump_fleet_result(result: "FleetResult", path: str) -> None:
+    """Write a fleet-simulation result to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(fleet_result_to_dict(result), handle, indent=2)
+        handle.write("\n")
+
+
+def load_fleet_result(path: str) -> "FleetResult":
+    """Load a result written by :func:`dump_fleet_result`."""
+    with open(path) as handle:
+        return fleet_result_from_dict(json.load(handle))
 
 
 def dump_serve_result(result: "ServeResult", path: str) -> None:

@@ -21,10 +21,13 @@ points record their ``OptimizationError`` instead of aborting the sweep.
 
 from .analysis import (
     METRIC_NAMES,
+    CostToServeRanking,
     TrafficRanking,
     best_per_group,
+    cost_to_serve_table,
     frontier_table,
     pareto_frontier,
+    rank_by_cost_to_serve,
     rank_by_traffic,
     summary_table,
     traffic_rank_table,
@@ -49,6 +52,9 @@ __all__ = [
     "TrafficRanking",
     "rank_by_traffic",
     "traffic_rank_table",
+    "CostToServeRanking",
+    "rank_by_cost_to_serve",
+    "cost_to_serve_table",
     "METRIC_NAMES",
     "canonical_json",
     "point_key",

@@ -16,6 +16,7 @@ from ..analysis.report import render_table
 from .point import METRIC_NAMES, SweepResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..fleet.planner import CapacityPlan
     from ..serve.metrics import ServeResult
     from ..serve.slo import SLOReport, SLOSpec
 
@@ -28,6 +29,9 @@ __all__ = [
     "TrafficRanking",
     "rank_by_traffic",
     "traffic_rank_table",
+    "CostToServeRanking",
+    "rank_by_cost_to_serve",
+    "cost_to_serve_table",
 ]
 
 #: Axes where smaller is better when used as an objective.
@@ -289,6 +293,162 @@ def traffic_rank_table(
         rows,
         title=(
             f"SLO ranking @ {rate_rps:g} r/s ({', '.join(clauses)}) "
+            f"-- {len(rankings)} designs"
+        ),
+    )
+
+
+def _board_cost(point) -> float:
+    """Relative price of one board for a design point.
+
+    Catalog parts carry explicit cost metadata
+    (:attr:`repro.fpga.parts.FpgaPart.cost_weight`); synthetic budgets
+    fall back to a DSP-proportional estimate anchored so a 485T-sized
+    budget (2,240 DSP at the paper's 80% fraction) weighs 1.0.
+    """
+    if point.part is not None:
+        from ..fpga.parts import get_part
+
+        return get_part(point.part).cost_weight
+    return point.dsp / 2240.0
+
+
+@dataclass(frozen=True)
+class CostToServeRanking:
+    """One stored design priced out as a fleet meeting an SLO."""
+
+    result: SweepResult
+    plan: "CapacityPlan"
+    board_cost: float
+
+    @property
+    def boards(self) -> Optional[int]:
+        return self.plan.replicas
+
+    @property
+    def total_cost(self) -> Optional[float]:
+        """Boards needed x relative board price; None when SLO unmet."""
+        if self.plan.replicas is None:
+            return None
+        return self.plan.replicas * self.board_cost
+
+    @property
+    def sort_key(self) -> Tuple:
+        """Feasible fleets first, then cheapest, then smallest, then p99.
+
+        Per-board SLO attainment (``rank_by_traffic``) rewards the
+        biggest board; cost-to-serve instead asks what the whole service
+        costs, so a cheap board that needs two replicas can beat an
+        expensive one that needs one.
+        """
+        cost = self.total_cost
+        p99 = self.plan.report.worst_p99_ms if self.plan.report else None
+        return (
+            0 if cost is not None else 1,
+            cost if cost is not None else float("inf"),
+            self.boards if self.boards is not None else float("inf"),
+            p99 if p99 is not None else float("inf"),
+        )
+
+
+def rank_by_cost_to_serve(
+    results: Iterable[SweepResult],
+    rate_rps: float,
+    slo: "SLOSpec",
+    *,
+    max_replicas: int = 32,
+    duration_ms: float = 100.0,
+    seed: int = 0,
+    balancer: str = "least-outstanding",
+    queue_depth: int = 64,
+    policy: str = "drop-tail",
+) -> List["CostToServeRanking"]:
+    """Rank solved sweep points by fleet cost to meet an SLO.
+
+    For every solved point the design is rebuilt, capacity-planned via
+    :func:`repro.fleet.planner.plan_capacity` (minimum replicas whose
+    simulated fleet meets ``slo`` at ``rate_rps``), and priced as
+    boards-needed x relative board cost.  This is the provisioning
+    objective the fleet layer exists for: not "which single board
+    attains the SLO" but "which design serves this workload cheapest at
+    scale".  Designs that cannot meet the SLO within ``max_replicas``
+    boards sort last (by tail latency).
+    """
+    from ..fleet import DeviceSpec, plan_capacity
+    from ..networks import get_network
+
+    rankings: List[CostToServeRanking] = []
+    for result in results:
+        if not result.ok:
+            continue
+        point = result.point
+        network = get_network(point.network)
+        device = DeviceSpec(
+            design=result.design(network),
+            part=point.part,
+            bytes_per_cycle=point.budget().bytes_per_cycle(),
+        )
+        plan = plan_capacity(
+            device,
+            rate_rps,
+            slo,
+            max_replicas=max_replicas,
+            duration_ms=duration_ms,
+            seed=seed,
+            balancer=balancer,
+            queue_depth=queue_depth,
+            policy=policy,
+            frequency_mhz=point.frequency_mhz,
+        )
+        rankings.append(
+            CostToServeRanking(
+                result=result, plan=plan, board_cost=_board_cost(point)
+            )
+        )
+    rankings.sort(key=lambda ranking: ranking.sort_key)
+    return rankings
+
+
+def cost_to_serve_table(
+    rankings: Sequence["CostToServeRanking"], rate_rps: float, slo: "SLOSpec"
+) -> str:
+    """Cost-to-serve ranking rendered as a table (cheapest fleet first)."""
+    rows = []
+    for rank, entry in enumerate(rankings, start=1):
+        point = entry.result.point
+        p99 = entry.plan.report.worst_p99_ms if entry.plan.report else None
+        rows.append(
+            (
+                rank,
+                point.network,
+                point.budget_label,
+                point.dtype,
+                point.mode,
+                "-" if entry.boards is None else entry.boards,
+                f"{entry.board_cost:.2f}",
+                (
+                    f"{entry.total_cost:.2f}"
+                    if entry.total_cost is not None
+                    else f">{entry.plan.max_replicas * entry.board_cost:.2f}"
+                ),
+                "-" if p99 is None else f"{p99:.2f}",
+                "yes" if entry.plan.meets else "NO",
+            )
+        )
+    clauses = []
+    if slo.p99_ms is not None:
+        clauses.append(f"p99<={slo.p99_ms:g}ms")
+    clauses.append(f"drops<={slo.max_drop_rate:.0%}")
+    if slo.min_throughput_rps is not None:
+        clauses.append(f"goodput>={slo.min_throughput_rps:g}r/s")
+    return render_table(
+        (
+            "#", "network", "budget", "dtype", "mode", "boards",
+            "board cost", "fleet cost", "p99 ms", "meets SLO",
+        ),
+        rows,
+        title=(
+            f"cost-to-serve @ {rate_rps:g} r/s ({', '.join(clauses)}) "
             f"-- {len(rankings)} designs"
         ),
     )

@@ -30,6 +30,11 @@ class ResultStore:
     def __init__(self, path: Union[str, Path, None] = None):
         self.path: Optional[Path] = Path(path) if path is not None else None
         self._records: Dict[str, SweepResult] = {}
+        #: Lines dropped on load: torn JSON tails from an interrupted
+        #: write, or parseable-but-malformed records (foreign schema,
+        #: missing fields).  A store must survive a mid-write kill with
+        #: every intact line usable, or sweeps stop being resumable.
+        self.skipped_lines = 0
         if self.path is not None and self.path.exists():
             self._load()
 
@@ -42,9 +47,13 @@ class ResultStore:
                     continue
                 try:
                     record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # torn final line from an interrupted run
-                result = SweepResult.from_dict(record)
+                    result = SweepResult.from_dict(record)
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    # Torn final line from an interrupted run, or a
+                    # corrupt/foreign record: count it and keep loading —
+                    # one bad line must not cost the rest of the cache.
+                    self.skipped_lines += 1
+                    continue
                 self._records[result.point.key()] = result
 
     # ------------------------------------------------------------- dict-like
@@ -86,8 +95,13 @@ class ResultStore:
         failed = len(self._records) - ok
         networks = sorted({r.point.network for r in self._records.values()})
         where = self.path if self.path is not None else "<memory>"
+        skipped = (
+            f", {self.skipped_lines} corrupt line(s) skipped"
+            if self.skipped_lines
+            else ""
+        )
         return (
             f"store {where}: {len(self._records)} points "
             f"({ok} solved, {failed} infeasible) "
-            f"across networks {networks or '[]'}"
+            f"across networks {networks or '[]'}{skipped}"
         )

@@ -1,0 +1,363 @@
+"""The cluster simulator: N epoch-pipelined devices, one event engine.
+
+Scale-out layer over :mod:`repro.serve`: the same seeded arrival streams
+(one per tenant, keyed exactly as :func:`repro.serve.simulator.simulate_traffic`
+keys them), but each arrival is routed by a pluggable
+:class:`~repro.fleet.balancer.Balancer` to one of N replicas, each an
+independent epoch-pipelined device model with its own per-tenant bounded
+FIFO queues, epoch boundary chain, and CLP busy accounting.  All
+replicas share one discrete-event engine, so cross-replica orderings are
+deterministic under a fixed seed.
+
+The construction is deliberately a superset of the single-device
+simulator: with one replica, every arrival routes to it, the event
+structure degenerates to ``simulate_traffic``'s, and the per-tenant
+metrics come out *identical* — the differential tests pin this bit for
+bit.  That equivalence is what makes fleet-level answers (how many
+boards?) trustworthy extrapolations of the paper's device model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..serve.metrics import LatencySummary, TenantStats
+from ..serve.simulator import DROP_POLICIES, TenantSpec, TenantState
+from .balancer import Balancer, make_balancer
+from .device import DeviceSpec
+from .metrics import FleetResult, ReplicaStats
+
+__all__ = ["Replica", "ClusterSimulator", "simulate_fleet"]
+
+
+class Replica:
+    """Runtime model of one board: per-tenant states + busy counters."""
+
+    def __init__(
+        self,
+        spec: DeviceSpec,
+        index: int,
+        tenants: Sequence[TenantSpec],
+        queue_depth: int,
+        policy: str,
+    ):
+        self.spec = spec
+        self.index = index
+        self.label = f"{spec.display_label}#{index}"
+        base, plans = spec.plans()
+        self.epoch = spec.resolve_epoch()
+        self.num_clps = base.num_clps
+        self.clp_busy = [0.0] * base.num_clps
+        #: Tenant states in fleet tenant order, only for served tenants.
+        self.states: Dict[str, TenantState] = {}
+        for tenant in tenants:
+            if tenant.name not in plans:
+                continue
+            depth, clp_cycles = plans[tenant.name]
+            self.states[tenant.name] = TenantState(
+                tenant, depth, clp_cycles, queue_depth, policy
+            )
+
+    @property
+    def outstanding(self) -> int:
+        """Requests queued or in the pipeline (the balancer's load signal)."""
+        return sum(
+            len(state.queue) + state.pipeline for state in self.states.values()
+        )
+
+    def serves(self, tenant: str) -> bool:
+        return tenant in self.states
+
+    def stats(self, elapsed: float) -> ReplicaStats:
+        fractions = tuple(
+            min(1.0, busy / elapsed) if elapsed > 0 else 0.0
+            for busy in self.clp_busy
+        )
+        return ReplicaStats(
+            label=self.label,
+            part=self.spec.part,
+            epoch_cycles=self.epoch,
+            pipeline_depths=tuple(
+                state.depth_epochs for state in self.states.values()
+            ),
+            tenants=tuple(
+                state.stats(elapsed) for state in self.states.values()
+            ),
+            clp_busy_fraction=fractions,
+        )
+
+
+def _aggregate_tenant(
+    spec: TenantSpec, states: Sequence[TenantState], elapsed: float
+) -> TenantStats:
+    """Fleet-wide view of one tenant: merge raw samples, then reduce."""
+    latencies: List[float] = []
+    for state in states:
+        latencies.extend(state.latencies)
+    completions = sum(state.completions for state in states)
+    firsts = [s.first_completion for s in states if s.first_completion is not None]
+    lasts = [s.last_completion for s in states if s.last_completion is not None]
+    steady = None
+    if completions >= 2 and firsts and max(lasts) > min(firsts):
+        steady = (completions - 1) / (max(lasts) - min(firsts))
+    return TenantStats(
+        name=spec.name,
+        offered_rate_per_cycle=spec.process.mean_rate,
+        arrivals=sum(state.arrivals for state in states),
+        completions=completions,
+        drops=sum(state.drops for state in states),
+        in_flight=sum(
+            len(state.queue) + state.pipeline for state in states
+        ),
+        latency=LatencySummary.of(latencies),
+        mean_queue_depth=sum(
+            state.mean_queue_depth(elapsed) for state in states
+        ),
+        peak_queue_depth=max(state.peak_queue for state in states),
+        steady_rate_per_cycle=steady,
+    )
+
+
+class ClusterSimulator:
+    """Multiplex N device models over shared arrival streams.
+
+    Construction validates the topology (every tenant must be servable
+    by at least one replica; every replica network must be an offered
+    tenant); :meth:`run` executes one seeded window and returns a
+    :class:`~repro.fleet.metrics.FleetResult`.  A simulator instance is
+    reusable — each ``run`` builds fresh replica state — which is what
+    the capacity planner and autoscaler lean on.
+    """
+
+    def __init__(
+        self,
+        devices: Union[DeviceSpec, Sequence[DeviceSpec]],
+        tenants: Sequence[TenantSpec],
+        *,
+        balancer: Union[str, Balancer, None] = None,
+        frequency_mhz: float = 100.0,
+        queue_depth: int = 64,
+        policy: str = "drop-tail",
+    ):
+        if isinstance(devices, DeviceSpec):
+            devices = [devices]
+        if not devices:
+            raise ValueError("a fleet needs at least one device spec")
+        if not tenants:
+            raise ValueError("a fleet needs at least one tenant")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be at least 1")
+        if policy not in DROP_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; known: {DROP_POLICIES}")
+        names = [spec.name for spec in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        self.devices = tuple(devices)
+        self.tenants = tuple(tenants)
+        self._balancer_spec = balancer
+        self.frequency_mhz = frequency_mhz
+        self.queue_depth = queue_depth
+        self.policy = policy
+
+        served = set()
+        for device in self.devices:
+            served.update(device.networks)
+        offered = set(names)
+        if not offered <= served:
+            raise ValueError(
+                f"tenants {sorted(offered - served)} are not served by any "
+                f"replica (fleet serves {sorted(served)})"
+            )
+        if not served <= offered:
+            raise ValueError(
+                f"replica networks {sorted(served - offered)} have no tenant "
+                f"stream (offered: {sorted(offered)})"
+            )
+
+    @property
+    def num_replicas(self) -> int:
+        return sum(device.count for device in self.devices)
+
+    def _make_balancer(self) -> Balancer:
+        spec = self._balancer_spec
+        if spec is None:
+            spec = "round-robin"
+        if isinstance(spec, str):
+            return make_balancer(spec)
+        # Reuse the caller's policy object (it may carry configuration a
+        # plain re-instantiation would lose) but drop its per-run state.
+        spec.reset()
+        return spec
+
+    # ------------------------------------------------------------------- run
+    def run(
+        self,
+        duration_cycles: float,
+        *,
+        seed: int = 0,
+        drain: bool = False,
+    ) -> FleetResult:
+        """One seeded traffic window over the whole fleet.
+
+        Semantics mirror :func:`repro.serve.simulator.simulate_traffic`:
+        ``drain=False`` cuts the run at the horizon (queued/pipelined
+        requests reported in-flight); ``drain=True`` stops arrivals at
+        the horizon but serves out every queue, so arrivals equal
+        completions plus drops exactly.  Identical arguments produce an
+        identical :class:`~repro.fleet.metrics.FleetResult`.
+        """
+        from ..sim.engine import Simulator
+
+        if duration_cycles <= 0:
+            raise ValueError("duration_cycles must be positive")
+
+        sim = Simulator()
+        replicas: List[Replica] = []
+        for device in self.devices:
+            for _ in range(device.count):
+                replicas.append(
+                    Replica(
+                        device,
+                        len(replicas),
+                        self.tenants,
+                        self.queue_depth,
+                        self.policy,
+                    )
+                )
+        eligible: Dict[str, Tuple[int, ...]] = {
+            spec.name: tuple(
+                replica.index
+                for replica in replicas
+                if replica.serves(spec.name)
+            )
+            for spec in self.tenants
+        }
+        balancer = self._make_balancer()
+        balancer.bind(replicas, random.Random(f"{seed}/balancer"))
+
+        horizon = float(duration_cycles)
+        #: One open/closed flag per tenant *stream* (shared by replicas).
+        stream_open = [True] * len(self.tenants)
+
+        def start_stream(spec: TenantSpec, index: int) -> None:
+            # Same RNG keying as the single-device simulator: the fleet
+            # sees the *same* traffic a lone board would.
+            rng = random.Random(f"{seed}/{index}/{spec.name}")
+            stream: Iterator[float] = spec.process.times(rng)
+            limit = spec.limit
+
+            def pump(count: int = 0) -> None:
+                if limit is not None and count >= limit:
+                    stream_open[index] = False
+                    return
+                try:
+                    when = next(stream)
+                except StopIteration:
+                    stream_open[index] = False
+                    return
+                if when > horizon:
+                    stream_open[index] = False
+                    return
+
+                def fire() -> None:
+                    choice = balancer.route(
+                        spec.name, eligible[spec.name], sim.now
+                    )
+                    replicas[choice].states[spec.name].on_arrival(sim.now)
+                    pump(count + 1)
+
+                sim.schedule_at(when, fire)
+
+            pump()
+
+        for index, spec in enumerate(self.tenants):
+            start_stream(spec, index)
+
+        def make_boundary(replica: Replica):
+            epoch = replica.epoch
+
+            def boundary() -> None:
+                for state in replica.states.values():
+                    arrival = state.admit(sim.now)
+                    if arrival is None:
+                        continue
+                    for clp_index, cycles in enumerate(state.clp_cycles):
+                        replica.clp_busy[clp_index] += cycles
+                    sim.schedule(
+                        state.depth_epochs * epoch,
+                        lambda state=state, arrival=arrival: state.on_completion(
+                            arrival, sim.now
+                        ),
+                    )
+                upcoming = sim.now + epoch
+                pending = any(
+                    state.queue for state in replica.states.values()
+                ) or any(
+                    stream_open[index]
+                    for index, spec in enumerate(self.tenants)
+                    if replica.serves(spec.name)
+                )
+                if upcoming <= horizon or (drain and pending):
+                    sim.schedule(epoch, boundary)
+
+            return boundary
+
+        for replica in replicas:
+            make_boundary(replica)()  # first dispatch at cycle 0
+
+        if drain:
+            elapsed = max(sim.run(), horizon)
+        else:
+            sim.run(until=horizon)
+            elapsed = horizon
+
+        aggregates = tuple(
+            _aggregate_tenant(
+                spec,
+                [
+                    replica.states[spec.name]
+                    for replica in replicas
+                    if replica.serves(spec.name)
+                ],
+                elapsed,
+            )
+            for spec in self.tenants
+        )
+        return FleetResult(
+            balancer=balancer.name,
+            num_replicas=len(replicas),
+            frequency_mhz=self.frequency_mhz,
+            horizon_cycles=horizon,
+            elapsed_cycles=elapsed,
+            seed=seed,
+            queue_depth=self.queue_depth,
+            policy=self.policy,
+            drained=drain,
+            tenants=aggregates,
+            replicas=tuple(replica.stats(elapsed) for replica in replicas),
+        )
+
+
+def simulate_fleet(
+    devices: Union[DeviceSpec, Sequence[DeviceSpec]],
+    tenants: Sequence[TenantSpec],
+    duration_cycles: float,
+    *,
+    balancer: Union[str, Balancer, None] = None,
+    frequency_mhz: float = 100.0,
+    seed: int = 0,
+    queue_depth: int = 64,
+    policy: str = "drop-tail",
+    drain: bool = False,
+) -> FleetResult:
+    """One-shot convenience wrapper around :class:`ClusterSimulator`."""
+    cluster = ClusterSimulator(
+        devices,
+        tenants,
+        balancer=balancer,
+        frequency_mhz=frequency_mhz,
+        queue_depth=queue_depth,
+        policy=policy,
+    )
+    return cluster.run(duration_cycles, seed=seed, drain=drain)

@@ -1,0 +1,222 @@
+"""Fleet-level metrics: per-replica and aggregate serving statistics.
+
+A cluster run reduces to the same JSON-friendly shape as a single-device
+run (:class:`~repro.serve.metrics.ServeResult`), twice over: once per
+replica (:class:`ReplicaStats`, each holding the familiar per-tenant
+:class:`~repro.serve.metrics.TenantStats`) and once fleet-wide, where
+per-tenant latencies are merged across replicas *before* the percentile
+reduction — so the aggregate p99 is the p99 a client would actually
+observe, not an average of per-board p99s.  A one-replica fleet's
+aggregate tenants are therefore identical to the ``ServeResult`` of the
+same seeded run, which the differential tests pin exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..serve.metrics import TenantStats
+
+__all__ = ["ReplicaStats", "FleetResult"]
+
+
+@dataclass(frozen=True)
+class ReplicaStats:
+    """One board's view of a fleet simulation."""
+
+    label: str
+    part: Optional[str]
+    epoch_cycles: float
+    pipeline_depths: Tuple[int, ...]  # per served tenant, in epochs
+    tenants: Tuple[TenantStats, ...]
+    clp_busy_fraction: Tuple[float, ...]
+
+    @property
+    def utilization(self) -> float:
+        """Busy share of the epoch-limiting CLP (the board's duty factor)."""
+        return max(self.clp_busy_fraction, default=0.0)
+
+    @property
+    def arrivals(self) -> int:
+        """Requests routed to this replica (including ones it dropped)."""
+        return sum(t.arrivals for t in self.tenants)
+
+    @property
+    def completions(self) -> int:
+        return sum(t.completions for t in self.tenants)
+
+    @property
+    def drops(self) -> int:
+        return sum(t.drops for t in self.tenants)
+
+    def tenant(self, name: str) -> TenantStats:
+        for stats in self.tenants:
+            if stats.name == name:
+                return stats
+        raise KeyError(
+            f"replica {self.label} serves {[t.name for t in self.tenants]}, "
+            f"not {name!r}"
+        )
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Everything one seeded cluster simulation produced.
+
+    ``tenants`` are the fleet-wide aggregates (latency percentiles over
+    the merged per-replica samples; arrivals/completions/drops summed;
+    queue depth summed — the expected number of requests waiting
+    anywhere in the fleet); ``replicas`` keep the per-board breakdown
+    the imbalance metrics come from.  The conversion helpers mirror
+    :class:`~repro.serve.metrics.ServeResult` exactly, so
+    :func:`repro.serve.slo.evaluate_slo` scores either shape.
+    """
+
+    balancer: str
+    num_replicas: int
+    frequency_mhz: float
+    horizon_cycles: float
+    elapsed_cycles: float
+    seed: int
+    queue_depth: int
+    policy: str
+    drained: bool
+    tenants: Tuple[TenantStats, ...]
+    replicas: Tuple[ReplicaStats, ...]
+
+    # ------------------------------------------------------------ conversions
+    @property
+    def cycles_per_second(self) -> float:
+        return self.frequency_mhz * 1e6
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        return cycles / self.cycles_per_second * 1e3
+
+    def rate_to_rps(self, rate_per_cycle: float) -> float:
+        return rate_per_cycle * self.cycles_per_second
+
+    # ----------------------------------------------------------------- access
+    def tenant(self, name: str) -> TenantStats:
+        for stats in self.tenants:
+            if stats.name == name:
+                return stats
+        raise KeyError(
+            f"no tenant {name!r}; tenants: {[t.name for t in self.tenants]}"
+        )
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(t.arrivals for t in self.tenants)
+
+    @property
+    def total_completions(self) -> int:
+        return sum(t.completions for t in self.tenants)
+
+    @property
+    def total_drops(self) -> int:
+        return sum(t.drops for t in self.tenants)
+
+    # --------------------------------------------------------------- capacity
+    def tenant_capacity_rps(self, name: str) -> float:
+        """Admission slots per second the fleet offers one tenant."""
+        return sum(
+            self.cycles_per_second / replica.epoch_cycles
+            for replica in self.replicas
+            if any(t.name == name for t in replica.tenants)
+        )
+
+    @property
+    def capacity_rps(self) -> float:
+        """Total admission slots per second across the whole fleet."""
+        return sum(
+            self.tenant_capacity_rps(tenant.name) for tenant in self.tenants
+        )
+
+    # -------------------------------------------------------------- imbalance
+    @property
+    def utilization_imbalance(self) -> float:
+        """Spread (max - min) of replica duty factors; 0 for one board.
+
+        A high value under a supposedly balancing policy means routing
+        is concentrating load — the signal the balancer property tests
+        and the autoscaler's scale-down guard look at.
+        """
+        if len(self.replicas) < 2:
+            return 0.0
+        utilizations = [replica.utilization for replica in self.replicas]
+        return max(utilizations) - min(utilizations)
+
+    # ----------------------------------------------------------------- report
+    def format(self) -> str:
+        from ..analysis.report import render_table
+
+        tenant_rows = []
+        for t in self.tenants:
+            if t.latency is None:
+                p50 = p95 = p99 = "-"
+            else:
+                p50 = f"{self.cycles_to_ms(t.latency.p50):.2f}"
+                p95 = f"{self.cycles_to_ms(t.latency.p95):.2f}"
+                p99 = f"{self.cycles_to_ms(t.latency.p99):.2f}"
+            tenant_rows.append(
+                (
+                    t.name,
+                    f"{self.rate_to_rps(t.offered_rate_per_cycle):.0f}",
+                    t.arrivals,
+                    t.completions,
+                    f"{self.rate_to_rps(t.completed_rate_per_cycle(self.horizon_cycles)):.1f}",
+                    p50,
+                    p95,
+                    p99,
+                    f"{t.drop_rate:.1%}",
+                )
+            )
+        tenant_table = render_table(
+            (
+                "tenant", "offered r/s", "arrivals", "done", "goodput r/s",
+                "p50 ms", "p95 ms", "p99 ms", "drop",
+            ),
+            tenant_rows,
+            title=(
+                f"fleet of {self.num_replicas} replicas, "
+                f"balancer={self.balancer}, @{self.frequency_mhz:.0f}MHz, "
+                f"capacity={self.capacity_rps:.1f} img/s, seed={self.seed}"
+            ),
+        )
+        replica_rows = []
+        for index, replica in enumerate(self.replicas):
+            worst = None
+            for t in replica.tenants:
+                if t.latency is not None:
+                    p99 = t.latency.p99
+                    worst = p99 if worst is None else max(worst, p99)
+            replica_rows.append(
+                (
+                    index,
+                    replica.label,
+                    f"{replica.epoch_cycles:.0f}",
+                    replica.arrivals,
+                    replica.completions,
+                    replica.drops,
+                    "-" if worst is None else f"{self.cycles_to_ms(worst):.2f}",
+                    f"{replica.utilization:.1%}",
+                )
+            )
+        replica_table = render_table(
+            (
+                "#", "replica", "epoch", "routed", "done", "drops",
+                "p99 ms", "util",
+            ),
+            replica_rows,
+            title=(
+                f"per-replica breakdown "
+                f"(imbalance={self.utilization_imbalance:.1%})"
+            ),
+        )
+        window = (
+            f"simulated {self.cycles_to_ms(self.elapsed_cycles):.1f} ms "
+            f"({self.elapsed_cycles:.0f} cycles)"
+            + (", drained" if self.drained else "")
+        )
+        return f"{tenant_table}\n\n{replica_table}\n{window}"

@@ -1,0 +1,419 @@
+"""Capacity planning and reactive autoscaling over the cluster simulator.
+
+Two ways to answer "how many boards?":
+
+* :func:`plan_capacity` — offline: binary-search the minimum replica
+  count whose simulated fleet meets an :class:`~repro.serve.slo.SLOSpec`
+  at a target arrival rate.  Every probe is a full seeded fleet
+  simulation (drained, horizon floored at a few pipeline latencies), so
+  the plan accounts for queueing and tail latency, not just the analytic
+  throughput ceiling.
+* :func:`autoscale` — online: a reactive controller stepped *between*
+  simulation windows.  Each window is one seeded fleet run at the
+  current replica count; the controller then compares the observed p99
+  and mean queue depth against its thresholds and scales up or down for
+  the next window.  A rate schedule makes ramps and spikes expressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..serve.simulator import TenantSpec, pipeline_latency_cycles
+from ..serve.slo import SLOReport, SLOSpec, evaluate_slo
+from .balancer import Balancer
+from .cluster import ClusterSimulator
+from .device import DeviceSpec
+from .metrics import FleetResult
+
+__all__ = [
+    "PlanProbe",
+    "CapacityPlan",
+    "plan_capacity",
+    "AutoscalerPolicy",
+    "AutoscaleWindow",
+    "AutoscaleTrace",
+    "autoscale",
+]
+
+
+def _fleet_tenants(device: DeviceSpec, rate_per_cycle: float) -> List[TenantSpec]:
+    from ..serve.arrivals import make_arrival_process
+
+    return [
+        TenantSpec(name, make_arrival_process("poisson", rate_per_cycle))
+        for name in device.networks
+    ]
+
+
+def _window_cycles(
+    device: DeviceSpec, duration_cycles: float
+) -> float:
+    """Floor the window at 3 pipeline latencies so percentiles exist."""
+    return max(
+        float(duration_cycles),
+        3.0 * pipeline_latency_cycles(device.design, device.bytes_per_cycle),
+    )
+
+
+@dataclass(frozen=True)
+class PlanProbe:
+    """One evaluated replica count during the capacity search."""
+
+    replicas: int
+    meets: bool
+    p99_ms: Optional[float]
+    drop_rate: float
+    goodput_rps: float
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Outcome of a minimum-replica search against an SLO."""
+
+    rate_rps: float
+    slo: SLOSpec
+    replicas: Optional[int]  # minimum meeting count; None if unmet at cap
+    max_replicas: int
+    probes: Tuple[PlanProbe, ...]
+    result: Optional[FleetResult]  # the fleet at the planned count
+    report: Optional[SLOReport]
+
+    @property
+    def meets(self) -> bool:
+        return self.replicas is not None
+
+    def format(self) -> str:
+        from ..analysis.report import render_table
+
+        rows = [
+            (
+                probe.replicas,
+                "-" if probe.p99_ms is None else f"{probe.p99_ms:.2f}",
+                f"{probe.drop_rate:.1%}",
+                f"{probe.goodput_rps:.1f}",
+                "yes" if probe.meets else "NO",
+            )
+            for probe in self.probes
+        ]
+        verdict = (
+            f"minimum fleet: {self.replicas} replica(s)"
+            if self.meets
+            else f"SLO not met within {self.max_replicas} replicas"
+        )
+        table = render_table(
+            ("replicas", "p99 ms", "drop", "goodput r/s", "meets SLO"),
+            rows,
+            title=(
+                f"capacity plan @ {self.rate_rps:g} r/s per tenant -- {verdict}"
+            ),
+        )
+        return table
+
+
+def plan_capacity(
+    device: DeviceSpec,
+    rate_rps: float,
+    slo: SLOSpec,
+    *,
+    tenants: Optional[Sequence[TenantSpec]] = None,
+    max_replicas: int = 64,
+    duration_ms: float = 100.0,
+    seed: int = 0,
+    balancer: Union[str, Balancer, None] = "least-outstanding",
+    queue_depth: int = 64,
+    policy: str = "drop-tail",
+    frequency_mhz: float = 100.0,
+) -> CapacityPlan:
+    """Minimum replicas of ``device`` meeting ``slo`` at ``rate_rps``.
+
+    ``rate_rps`` is the offered rate *per tenant* (matching the
+    ``repro serve --rate`` convention); pass explicit ``tenants`` for a
+    non-uniform mix.  The search doubles the fleet until the SLO is met
+    (or ``max_replicas`` is hit), then binary-searches the gap — probing
+    O(log n) counts, each one seeded, drained fleet simulation.
+
+    The bisection is sound only for *load-spreading* policies, where a
+    bigger fleet gives every tenant more admission slots and SLO
+    attainment is monotone in the replica count.  ``tenant-affinity``
+    breaks that premise twice over — a pinned tenant gains nothing from
+    added boards, and the CRC-32 pin (``digest % n``) moves
+    non-monotonically as ``n`` grows — so it is rejected here rather
+    than silently producing a non-minimal (or falsely "unmet") plan.
+    """
+    if rate_rps <= 0:
+        raise ValueError("rate_rps must be positive")
+    if max_replicas < 1:
+        raise ValueError("max_replicas must be at least 1")
+    balancer_name = (
+        balancer if isinstance(balancer, str)
+        else balancer.name if balancer is not None
+        else "round-robin"
+    )
+    if balancer_name == "tenant-affinity":
+        raise ValueError(
+            "tenant-affinity pins each tenant to one board, so capacity "
+            "is not monotone in the replica count and the minimum-fleet "
+            "search is meaningless; plan with a load-spreading balancer "
+            "(e.g. least-outstanding) instead"
+        )
+    cycles_per_second = frequency_mhz * 1e6
+    if tenants is None:
+        tenants = _fleet_tenants(device, rate_rps / cycles_per_second)
+    duration_cycles = _window_cycles(
+        device, duration_ms * 1e-3 * cycles_per_second
+    )
+
+    evaluations: dict = {}
+
+    def evaluate(count: int) -> Tuple[FleetResult, SLOReport]:
+        if count not in evaluations:
+            cluster = ClusterSimulator(
+                device.replicated(count),
+                tenants,
+                balancer=balancer,
+                frequency_mhz=frequency_mhz,
+                queue_depth=queue_depth,
+                policy=policy,
+            )
+            result = cluster.run(duration_cycles, seed=seed, drain=True)
+            evaluations[count] = (result, evaluate_slo(result, slo))
+        return evaluations[count]
+
+    # Exponential probe for an upper bound, then bisect the gap.
+    count = 1
+    while not evaluate(count)[1].meets and count < max_replicas:
+        count = min(count * 2, max_replicas)
+    if not evaluate(count)[1].meets:
+        planned: Optional[int] = None
+    else:
+        low = count // 2 + 1 if count > 1 else 1
+        high = count
+        while low < high:
+            mid = (low + high) // 2
+            if evaluate(mid)[1].meets:
+                high = mid
+            else:
+                low = mid + 1
+        planned = high
+
+    probes = tuple(
+        PlanProbe(
+            replicas=n,
+            meets=report.meets,
+            p99_ms=report.worst_p99_ms,
+            drop_rate=report.worst_drop_rate,
+            goodput_rps=report.total_goodput_rps,
+        )
+        for n, (result, report) in sorted(evaluations.items())
+    )
+    final = evaluations.get(planned) if planned is not None else None
+    return CapacityPlan(
+        rate_rps=rate_rps,
+        slo=slo,
+        replicas=planned,
+        max_replicas=max_replicas,
+        probes=probes,
+        result=final[0] if final else None,
+        report=final[1] if final else None,
+    )
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Reactive thresholds: scale up on pressure, down on slack.
+
+    The controller scales *up* by ``step`` when the observed fleet p99
+    exceeds ``p99_high_ms`` or the mean queued requests per replica
+    exceed ``queue_high`` (a window with arrivals but no completions
+    counts as unbounded p99).  It scales *down* when every configured
+    low-water clause holds (p99 below ``p99_low_ms``, queue below
+    ``queue_low``).  ``None`` disables a clause; bounds always win.
+    """
+
+    min_replicas: int = 1
+    max_replicas: int = 16
+    step: int = 1
+    p99_high_ms: Optional[float] = None
+    queue_high: Optional[float] = None
+    p99_low_ms: Optional[float] = None
+    queue_low: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be at least 1")
+        if self.max_replicas < self.min_replicas:
+            raise ValueError("max_replicas must be >= min_replicas")
+        if self.step < 1:
+            raise ValueError("step must be at least 1")
+        if self.p99_high_ms is None and self.queue_high is None:
+            raise ValueError(
+                "configure at least one scale-up clause "
+                "(p99_high_ms or queue_high)"
+            )
+
+    # ------------------------------------------------------------- decisions
+    def decide(self, result: FleetResult) -> int:
+        """Replica delta for the next window (positive = scale up)."""
+        p99_ms = self._observed_p99_ms(result)
+        queue = self._queue_per_replica(result)
+        up = False
+        if self.p99_high_ms is not None:
+            up = up or p99_ms is None or p99_ms > self.p99_high_ms
+        if self.queue_high is not None:
+            up = up or queue > self.queue_high
+        if up:
+            return min(self.step, self.max_replicas - result.num_replicas)
+        down = True
+        if self.p99_low_ms is not None:
+            down = down and p99_ms is not None and p99_ms < self.p99_low_ms
+        if self.queue_low is not None:
+            down = down and queue < self.queue_low
+        if (self.p99_low_ms is None and self.queue_low is None) or not down:
+            return 0
+        return -min(self.step, result.num_replicas - self.min_replicas)
+
+    @staticmethod
+    def _observed_p99_ms(result: FleetResult) -> Optional[float]:
+        """Worst aggregate tenant p99 in ms; None = unbounded (no samples)."""
+        worst = None
+        for tenant in result.tenants:
+            if tenant.latency is None:
+                if tenant.arrivals > 0:
+                    return None  # saw traffic, completed nothing
+                continue
+            p99 = result.cycles_to_ms(tenant.latency.p99)
+            worst = p99 if worst is None else max(worst, p99)
+        return 0.0 if worst is None else worst
+
+    @staticmethod
+    def _queue_per_replica(result: FleetResult) -> float:
+        total = sum(t.mean_queue_depth for t in result.tenants)
+        return total / result.num_replicas if result.num_replicas else 0.0
+
+
+@dataclass(frozen=True)
+class AutoscaleWindow:
+    """One controller step: what it saw and what it did."""
+
+    index: int
+    replicas: int
+    rate_rps: float
+    p99_ms: Optional[float]
+    queue_per_replica: float
+    drops: int
+    completions: int
+    action: int  # replica delta applied after this window
+
+
+@dataclass(frozen=True)
+class AutoscaleTrace:
+    """The controller's whole trajectory across windows."""
+
+    windows: Tuple[AutoscaleWindow, ...]
+    policy: AutoscalerPolicy
+
+    @property
+    def final_replicas(self) -> int:
+        last = self.windows[-1]
+        return last.replicas + last.action
+
+    @property
+    def peak_replicas(self) -> int:
+        return max(window.replicas for window in self.windows)
+
+    def format(self) -> str:
+        from ..analysis.report import render_table
+
+        rows = [
+            (
+                window.index,
+                window.replicas,
+                f"{window.rate_rps:g}",
+                "inf" if window.p99_ms is None else f"{window.p99_ms:.2f}",
+                f"{window.queue_per_replica:.1f}",
+                window.drops,
+                window.completions,
+                f"{window.action:+d}" if window.action else "hold",
+            )
+            for window in self.windows
+        ]
+        return render_table(
+            (
+                "window", "replicas", "rate r/s", "p99 ms", "queue/replica",
+                "drops", "done", "action",
+            ),
+            rows,
+            title=(
+                f"autoscaler trace: {len(self.windows)} windows, "
+                f"final fleet {self.final_replicas} replica(s)"
+            ),
+        )
+
+
+def autoscale(
+    device: DeviceSpec,
+    rate_schedule: Sequence[float],
+    policy: AutoscalerPolicy,
+    *,
+    window_ms: float = 50.0,
+    initial_replicas: Optional[int] = None,
+    seed: int = 0,
+    balancer: Union[str, Balancer, None] = "least-outstanding",
+    queue_depth: int = 64,
+    drop_policy: str = "drop-tail",
+    frequency_mhz: float = 100.0,
+) -> AutoscaleTrace:
+    """Step a reactive autoscaler across per-window offered rates.
+
+    ``rate_schedule`` gives the per-tenant offered rate (req/s) of each
+    window; the fleet size carries over between windows (queue state
+    does not — each window is an independent seeded run, the standard
+    fluid approximation for control-loop studies).  Window ``w`` runs at
+    seed ``seed + w`` so consecutive windows see fresh randomness while
+    the whole trace stays reproducible.
+    """
+    if not rate_schedule:
+        raise ValueError("rate_schedule must name at least one window")
+    replicas = (
+        policy.min_replicas if initial_replicas is None else initial_replicas
+    )
+    if not policy.min_replicas <= replicas <= policy.max_replicas:
+        raise ValueError(
+            f"initial_replicas {replicas} outside "
+            f"[{policy.min_replicas}, {policy.max_replicas}]"
+        )
+    cycles_per_second = frequency_mhz * 1e6
+    duration_cycles = _window_cycles(
+        device, window_ms * 1e-3 * cycles_per_second
+    )
+    windows: List[AutoscaleWindow] = []
+    for index, rate_rps in enumerate(rate_schedule):
+        if rate_rps <= 0:
+            raise ValueError(f"window {index} rate must be positive")
+        tenants = _fleet_tenants(device, rate_rps / cycles_per_second)
+        cluster = ClusterSimulator(
+            device.replicated(replicas),
+            tenants,
+            balancer=balancer,
+            frequency_mhz=frequency_mhz,
+            queue_depth=queue_depth,
+            policy=drop_policy,
+        )
+        result = cluster.run(duration_cycles, seed=seed + index, drain=True)
+        action = policy.decide(result)
+        windows.append(
+            AutoscaleWindow(
+                index=index,
+                replicas=replicas,
+                rate_rps=rate_rps,
+                p99_ms=AutoscalerPolicy._observed_p99_ms(result),
+                queue_per_replica=AutoscalerPolicy._queue_per_replica(result),
+                drops=result.total_drops,
+                completions=result.total_completions,
+                action=action,
+            )
+        )
+        replicas += action
+    return AutoscaleTrace(windows=tuple(windows), policy=policy)

@@ -12,7 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-__all__ = ["FpgaPart", "ResourceBudget", "PART_CATALOG", "get_part", "budget_for"]
+__all__ = [
+    "FpgaPart",
+    "ResourceBudget",
+    "PART_CATALOG",
+    "POWER_CLASSES",
+    "get_part",
+    "budget_for",
+]
 
 #: Words stored by one BRAM-18Kb block when organised 512 x 32 bits.
 BRAM18K_WORDS_32BIT = 512
@@ -70,15 +77,49 @@ class ResourceBudget:
         )
 
 
+#: Power classes a part can fall into (rough board TDP bands).
+POWER_CLASSES = ("low", "mid", "high")
+
+
 @dataclass(frozen=True)
 class FpgaPart:
-    """Physical capacities of an FPGA device."""
+    """Physical capacities (and deployment cost class) of an FPGA device.
+
+    ``relative_cost`` is a unitless board-price weight normalized to the
+    VX485T (= 1.0); ``power_class`` is a coarse TDP band.  Both exist
+    for fleet-level cost-to-serve accounting (boards-needed x board
+    cost), not for the on-chip optimizer, and both default so existing
+    positional constructions keep working.  ``None`` cost means
+    "unknown" and falls back to a DSP-proportional estimate.
+    """
 
     name: str
     dsp_slices: int
     bram18k: int
     flip_flops: int
     luts: int
+    relative_cost: Optional[float] = None
+    power_class: str = "mid"
+
+    def __post_init__(self) -> None:
+        if self.relative_cost is not None and self.relative_cost <= 0:
+            raise ValueError("relative_cost must be positive when set")
+        if self.power_class not in POWER_CLASSES:
+            raise ValueError(
+                f"unknown power class {self.power_class!r}; "
+                f"known: {POWER_CLASSES}"
+            )
+
+    @property
+    def cost_weight(self) -> float:
+        """Board-price weight; DSP-proportional estimate when unset.
+
+        The fallback anchors on the VX485T (2,800 DSP slices = weight
+        1.0), so synthetic parts rank sanely next to catalog ones.
+        """
+        if self.relative_cost is not None:
+            return self.relative_cost
+        return self.dsp_slices / 2800.0
 
     def budget(
         self,
@@ -104,6 +145,8 @@ PART_CATALOG: Dict[str, FpgaPart] = {
         bram18k=2060,
         flip_flops=607200,
         luts=303600,
+        relative_cost=1.0,
+        power_class="mid",
     ),
     "690t": FpgaPart(
         name="Virtex-7 690T",
@@ -111,6 +154,8 @@ PART_CATALOG: Dict[str, FpgaPart] = {
         bram18k=2940,
         flip_flops=866400,
         luts=433200,
+        relative_cost=1.45,
+        power_class="mid",
     ),
     "vu9p": FpgaPart(
         name="Virtex UltraScale+ VU9P",
@@ -118,6 +163,8 @@ PART_CATALOG: Dict[str, FpgaPart] = {
         bram18k=4320,
         flip_flops=2364480,
         luts=1182240,
+        relative_cost=3.1,
+        power_class="high",
     ),
     "vu11p": FpgaPart(
         name="Virtex UltraScale+ VU11P",
@@ -125,6 +172,8 @@ PART_CATALOG: Dict[str, FpgaPart] = {
         bram18k=4032,
         flip_flops=2592000,
         luts=1296000,
+        relative_cost=3.7,
+        power_class="high",
     ),
 }
 

@@ -35,7 +35,10 @@ from .metrics import LatencySummary, ServeResult, TenantStats
 
 __all__ = [
     "TenantSpec",
+    "TenantState",
     "DROP_POLICIES",
+    "tenant_plans",
+    "resolve_epoch",
     "service_capacity_rps",
     "pipeline_latency_cycles",
     "simulate_traffic",
@@ -55,10 +58,16 @@ class TenantSpec:
     limit: Optional[int] = None
 
 
-def _tenant_plans(
+def tenant_plans(
     design: Union[MultiCLPDesign, JointDesign],
 ) -> Tuple[MultiCLPDesign, Dict[str, Tuple[int, Tuple[int, ...]]]]:
-    """Per-tenant (pipeline depth, per-CLP cycles-per-image) from a design."""
+    """Per-tenant (pipeline depth, per-CLP cycles-per-image) from a design.
+
+    The service model every higher layer shares: one admission slot per
+    tenant per epoch, completion ``depth`` epochs later.  The fleet
+    simulator (:mod:`repro.fleet`) builds its per-replica device models
+    from exactly this plan so single-device and cluster runs agree.
+    """
     if isinstance(design, JointDesign):
         base = design.design
         plans: Dict[str, Tuple[int, Tuple[int, ...]]] = {}
@@ -99,12 +108,12 @@ def pipeline_latency_cycles(
     simulation window below this reports every request as in-flight
     (callers that want percentiles should budget a few multiples, or
     drain)."""
-    base, plans = _tenant_plans(design)
-    epoch = _resolve_epoch(base, bytes_per_cycle, "model")
+    base, plans = tenant_plans(design)
+    epoch = resolve_epoch(base, bytes_per_cycle, "model")
     return max(depth for depth, _ in plans.values()) * epoch
 
 
-class _TenantState:
+class TenantState:
     """Mutable bookkeeping for one tenant during a run."""
 
     def __init__(
@@ -203,7 +212,7 @@ class _TenantState:
         )
 
 
-def _resolve_epoch(
+def resolve_epoch(
     base: MultiCLPDesign,
     bytes_per_cycle: Optional[float],
     calibrate: str,
@@ -253,7 +262,7 @@ def simulate_traffic(
     if policy not in DROP_POLICIES:
         raise ValueError(f"unknown policy {policy!r}; known: {DROP_POLICIES}")
 
-    base, plans = _tenant_plans(design)
+    base, plans = tenant_plans(design)
     offered = [spec.name for spec in tenants]
     if sorted(offered) != sorted(plans):
         raise ValueError(
@@ -261,13 +270,13 @@ def simulate_traffic(
             f"{sorted(plans)}"
         )
 
-    epoch = _resolve_epoch(base, bytes_per_cycle, calibrate)
+    epoch = resolve_epoch(base, bytes_per_cycle, calibrate)
     sim = Simulator()
-    states: List[_TenantState] = []
+    states: List[TenantState] = []
     for spec in tenants:
         depth, clp_cycles = plans[spec.name]
         states.append(
-            _TenantState(spec, depth, clp_cycles, queue_depth, policy)
+            TenantState(spec, depth, clp_cycles, queue_depth, policy)
         )
 
     clp_busy = [0.0] * base.num_clps
@@ -275,7 +284,7 @@ def simulate_traffic(
 
     # Arrivals: one self-rescheduling event chain per tenant, each with
     # a private RNG keyed by (seed, tenant index, tenant name).
-    def start_stream(state: _TenantState, index: int) -> None:
+    def start_stream(state: TenantState, index: int) -> None:
         rng = random.Random(f"{seed}/{index}/{state.spec.name}")
         stream: Iterator[float] = state.spec.process.times(rng)
         limit = state.spec.limit
@@ -304,7 +313,7 @@ def simulate_traffic(
     for index, state in enumerate(states):
         start_stream(state, index)
 
-    def complete(state: _TenantState, arrival: float) -> None:
+    def complete(state: TenantState, arrival: float) -> None:
         state.on_completion(arrival, sim.now)
 
     def boundary() -> None:

@@ -78,6 +78,11 @@ def evaluate_slo(result: ServeResult, slo: SLOSpec) -> SLOReport:
     A tenant with arrivals but no completions fails any latency or
     throughput clause outright (its tail latency is effectively
     unbounded); a tenant that saw no traffic at all trivially passes.
+
+    ``result`` may equally be a :class:`~repro.fleet.metrics.FleetResult`
+    — it exposes the same per-tenant stats and clock conversions, with
+    tail latencies taken over the merged cross-replica samples — which
+    is how the capacity planner scores whole fleets against one spec.
     """
     verdicts: List[TenantVerdict] = []
     for tenant in result.tenants:

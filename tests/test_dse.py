@@ -212,7 +212,43 @@ class TestResultStore:
         store.put_all(small_outcome.results)
         with path.open("a") as handle:
             handle.write('{"key": "tr')  # interrupted mid-write
-        assert len(ResultStore(path)) == len(small_outcome.results)
+        reloaded = ResultStore(path)
+        assert len(reloaded) == len(small_outcome.results)
+        assert reloaded.skipped_lines == 1
+
+    def test_skips_and_counts_corrupt_lines(self, small_outcome, tmp_path):
+        """A mid-write kill must leave every intact line usable.
+
+        Regression: malformed-but-parseable JSON lines (foreign schema,
+        missing fields, wrong field types) used to crash the load and
+        take the whole cache with them; now each bad shape is skipped
+        and counted, and records *after* the bad line still load.
+        """
+        path = tmp_path / "store.jsonl"
+        good = small_outcome.results
+        with path.open("w") as handle:
+            handle.write(json.dumps(good[0].to_dict()) + "\n")
+            handle.write('{"key": "truncated mid-wri\n')  # torn JSON
+            handle.write('{"schema": 999, "ok": true}\n')  # foreign schema
+            handle.write('{"not-a": "sweep record"}\n')  # missing fields
+            handle.write('{"schema": 1, "ok": true, "point": 42}\n')  # bad type
+            handle.write("\n")  # blank lines are not corruption
+            for result in good[1:]:
+                handle.write(json.dumps(result.to_dict()) + "\n")
+        store = ResultStore(path)
+        assert len(store) == len(good)
+        assert store.skipped_lines == 4
+        for result in good:
+            assert store.get(result.point.key()) is not None
+        assert "4 corrupt line(s) skipped" in store.describe()
+
+    def test_clean_store_reports_no_skips(self, small_outcome, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        store.put_all(small_outcome.results)
+        fresh = ResultStore(path)
+        assert fresh.skipped_lines == 0
+        assert "skipped" not in fresh.describe()
 
     def test_records_carry_schema_version(self, small_outcome):
         record = small_outcome.results[0].to_dict()

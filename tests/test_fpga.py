@@ -4,6 +4,7 @@ import pytest
 
 from repro.fpga.parts import (
     PART_CATALOG,
+    POWER_CLASSES,
     FpgaPart,
     ResourceBudget,
     budget_for,
@@ -29,6 +30,31 @@ class TestCatalog:
     def test_name_normalization(self):
         assert get_part("Virtex-7 485T") is PART_CATALOG["485t"]
         assert get_part(" 690T ") is PART_CATALOG["690t"]
+
+    def test_catalog_carries_cost_metadata(self):
+        # Every catalog entry prices out for cost-to-serve ranking.
+        for part in PART_CATALOG.values():
+            assert part.relative_cost is not None and part.relative_cost > 0
+            assert part.power_class in POWER_CLASSES
+        # The 485T anchors the scale; bigger silicon costs more.
+        assert get_part("485t").relative_cost == 1.0
+        assert get_part("690t").relative_cost > get_part("485t").relative_cost
+        assert get_part("vu9p").cost_weight > get_part("690t").cost_weight
+        assert get_part("vu9p").power_class == "high"
+
+    def test_cost_metadata_backward_compatible(self):
+        # Pre-cost positional constructions keep working and estimate a
+        # DSP-proportional weight (485T-sized DSP array = 1.0).
+        part = FpgaPart("synthetic", 1400, 800, 10, 10)
+        assert part.relative_cost is None
+        assert part.power_class == "mid"
+        assert part.cost_weight == pytest.approx(0.5)
+
+    def test_cost_metadata_validation(self):
+        with pytest.raises(ValueError):
+            FpgaPart("bad", 100, 100, 1, 1, relative_cost=-2.0)
+        with pytest.raises(ValueError):
+            FpgaPart("bad", 100, 100, 1, 1, power_class="nuclear")
 
     def test_unknown_part(self):
         with pytest.raises(ValueError):
