@@ -1,0 +1,125 @@
+"""Scenario-engine speed: failure drills must not tax the cluster loop.
+
+Fault injection rides inside the cluster simulator's event loop (fail /
+recover events, health-aware routing, queue evacuation), so a drill
+should cost barely more than the plain run it wraps — capacity planning
+under ``rack-loss+n1`` runs the same O(log n) probe ladder, just with
+outage events mixed in.  This benchmark saturates a 4-replica AlexNet
+485T fleet through the rack-loss drill and reports simulated requests
+per second of host time, plus the overhead ratio against the identical
+scenario-less run.
+
+Bands: the drilled engine must stay above 10k simulated requests/s and
+within 2x of the plain engine; a drained drill must conserve requests
+exactly (arrivals == completions + drops + lost); the drill must
+actually bite (requests lost, availability < 1); and the ``steady``
+no-op must reproduce the plain run bit-exactly — the differential that
+keeps the fault plumbing honest.
+
+Numbers land twice: a human-readable artifact and machine-readable
+``BENCH_scenario.json`` (req/s, overhead, losses) for the perf
+trajectory CI tracks across commits.
+"""
+
+import dataclasses
+import time
+
+from conftest import bench_scale
+
+from repro.core.datatypes import FLOAT32
+from repro.fleet import DeviceSpec, simulate_fleet
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet
+from repro.opt import optimize_multi_clp
+from repro.serve import ConstantRate, TenantSpec
+
+EPOCHS = bench_scale(full=2_000, smoke=200)
+REPLICAS = 4
+
+
+def _run_once(device, scenario):
+    epoch = device.resolve_epoch()
+    # 2x aggregate capacity keeps every replica's queue full.
+    process = ConstantRate(2.0 * REPLICAS / epoch)
+    return simulate_fleet(
+        device.replicated(REPLICAS),
+        [TenantSpec("AlexNet", process)],
+        duration_cycles=EPOCHS * epoch,
+        balancer="power-of-two",
+        queue_depth=10 * EPOCHS * REPLICAS,
+        drain=True,
+        scenario=scenario,
+    )
+
+
+def test_scenario_engine_speed(benchmark, record_artifact, record_bench_json):
+    design = optimize_multi_clp(alexnet(), budget_for("485t"), FLOAT32)
+    device = DeviceSpec(design, part="485t")
+
+    started = time.perf_counter()
+    drilled = benchmark.pedantic(
+        lambda: _run_once(device, "rack-loss"), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - started
+
+    plain_started = time.perf_counter()
+    plain = _run_once(device, None)
+    plain_elapsed = time.perf_counter() - plain_started
+
+    # Conservation through the drill (drained, so nothing in flight).
+    tenant = drilled.tenants[0]
+    assert tenant.arrivals == tenant.completions + tenant.drops + tenant.lost
+    assert tenant.in_flight == 0
+
+    # The drill bites: boards died, work was lost, the report says so.
+    assert drilled.scenario == "rack-loss"
+    assert tenant.lost > 0
+    assert any(i.kind == "fault" for i in drilled.incidents)
+    resilience = drilled.resilience
+    assert resilience is not None and resilience.availability < 1.0
+
+    # No-op differential: the steady drill IS the plain run.
+    steady = _run_once(device, "steady")
+    assert dataclasses.replace(
+        steady, scenario=None, incidents=(), resilience=None
+    ) == plain
+
+    requests_per_s = tenant.arrivals / elapsed
+    overhead = elapsed / plain_elapsed if plain_elapsed > 0 else 1.0
+
+    artifact = "\n".join(
+        [
+            f"scenario engine speed ({REPLICAS}x AlexNet 485T, rack-loss, "
+            "saturated)",
+            f"  simulated epochs:    {EPOCHS}",
+            f"  simulated requests:  {tenant.arrivals}",
+            f"  wall-clock:          {elapsed:.3f} s",
+            f"  simulated req/s:     {requests_per_s:,.0f}",
+            f"  drill overhead:      {overhead:.2f}x plain run",
+            f"  requests lost:       {tenant.lost}",
+            f"  availability:        {resilience.availability:.2%}",
+            f"  incidents:           {len(drilled.incidents)}",
+        ]
+    )
+    record_artifact("bench_scenario", artifact)
+    record_bench_json(
+        "scenario",
+        {
+            "replicas": REPLICAS,
+            "simulated_epochs": EPOCHS,
+            "simulated_requests": tenant.arrivals,
+            "wall_time_s": elapsed,
+            "requests_per_s": requests_per_s,
+            "overhead_vs_plain": overhead,
+            "requests_lost": tenant.lost,
+            "availability": resilience.availability,
+            "incidents": len(drilled.incidents),
+        },
+    )
+    assert requests_per_s > 10_000, (
+        f"scenario engine too slow: {requests_per_s:,.0f} simulated req/s"
+    )
+    assert overhead < 2.0, (
+        f"failure drill costs {overhead:.2f}x the plain run; fault events "
+        "should be cheap against the epoch event chains"
+    )

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Benchmark trajectory: append BENCH_*.json numbers to a committed log
+and fail on throughput regressions.
+
+The benchmarks emit machine-readable ``BENCH_<name>.json`` files
+(requests per second, wall time) into ``benchmarks/results/`` — which
+is gitignored, so historically the trajectory lived only in CI
+artifacts nobody charted.  This script gives it a durable home:
+
+* ``record`` appends one line to ``benchmarks/results/history.jsonl``
+  (committed — the one un-ignored file in that directory) collecting
+  every benchmark's throughput under the current commit;
+* ``check`` compares the newest entry against the previous run of the
+  same benchmark *in the same mode* (smoke vs full — CI smoke numbers
+  are never judged against a workstation's full run) and exits 1 when
+  any throughput fell more than the threshold (default 20%).
+
+Both are pure stdlib; CI runs ``record`` then ``check`` after the
+smoke-mode benchmark job.  Wall-clock noise is real on shared runners —
+the 20% band is deliberately wide so only step-change regressions
+(an accidentally quadratic loop, a lost fast path) trip it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict, List, Optional
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+HISTORY_PATH = RESULTS_DIR / "history.jsonl"
+DEFAULT_THRESHOLD = 0.20
+
+
+def load_history(path: pathlib.Path) -> List[dict]:
+    """Parse the JSONL trajectory; a missing file is an empty history."""
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if line:
+            entries.append(json.loads(line))
+    return entries
+
+
+def collect_bench(results_dir: pathlib.Path) -> Dict[str, dict]:
+    """Throughput numbers from every BENCH_*.json that reports one."""
+    benches: Dict[str, dict] = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        record = json.loads(path.read_text())
+        rps = record.get("requests_per_s")
+        if rps is None:
+            continue
+        benches[record["benchmark"]] = {
+            "requests_per_s": float(rps),
+            "smoke": bool(record.get("smoke", False)),
+        }
+    return benches
+
+
+def append_entry(
+    history: List[dict], commit: str, benches: Dict[str, dict]
+) -> List[dict]:
+    """History plus one new trajectory point (input list untouched)."""
+    return history + [{"commit": commit, "entries": benches}]
+
+
+def _previous_comparable(
+    history: List[dict], name: str, smoke: bool
+) -> Optional[float]:
+    """Newest earlier datapoint for this benchmark in the same mode."""
+    for entry in reversed(history):
+        bench = entry.get("entries", {}).get(name)
+        if bench is not None and bench.get("smoke") == smoke:
+            return float(bench["requests_per_s"])
+    return None
+
+
+def check_regressions(
+    history: List[dict], threshold: float = DEFAULT_THRESHOLD
+) -> List[str]:
+    """Regression messages for the newest entry vs its predecessors."""
+    if not history:
+        return []
+    latest = history[-1]
+    problems = []
+    for name, bench in sorted(latest.get("entries", {}).items()):
+        now = float(bench["requests_per_s"])
+        before = _previous_comparable(history[:-1], name, bench.get("smoke"))
+        if before is None or before <= 0:
+            continue
+        drop = 1.0 - now / before
+        if drop > threshold:
+            problems.append(
+                f"{name}: {now:,.0f} req/s is {drop:.1%} below the "
+                f"previous {before:,.0f} (threshold {threshold:.0%})"
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("action", choices=["record", "check"])
+    parser.add_argument("--commit", default="unknown",
+                        help="commit SHA to stamp on the new entry")
+    parser.add_argument("--results-dir", type=pathlib.Path,
+                        default=RESULTS_DIR)
+    parser.add_argument("--history", type=pathlib.Path, default=HISTORY_PATH)
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD)
+    args = parser.parse_args(argv)
+
+    history = load_history(args.history)
+    if args.action == "record":
+        benches = collect_bench(args.results_dir)
+        if not benches:
+            print(f"no BENCH_*.json with requests_per_s in "
+                  f"{args.results_dir}; nothing recorded")
+            return 1
+        history = append_entry(history, args.commit, benches)
+        args.history.parent.mkdir(parents=True, exist_ok=True)
+        args.history.write_text(
+            "".join(json.dumps(e, sort_keys=True) + "\n" for e in history)
+        )
+        names = ", ".join(sorted(benches))
+        print(f"recorded {names} @ {args.commit} "
+              f"({len(history)} entries in {args.history})")
+        return 0
+
+    problems = check_regressions(history, threshold=args.threshold)
+    for problem in problems:
+        print(f"REGRESSION {problem}")
+    if not problems:
+        print(f"no throughput regressions in {args.history.name} "
+              f"({len(history)} entries, threshold {args.threshold:.0%})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

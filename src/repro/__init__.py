@@ -54,6 +54,8 @@ __all__ = [
     "SweepSpec",
     "run_sweep",
     "serve",
+    "fleet",
+    "scenario",
     "simulate_traffic",
     "TenantSpec",
     "__version__",
@@ -81,6 +83,14 @@ def __getattr__(name):
         from . import serve
 
         return serve
+    if name == "scenario":
+        from . import scenario
+
+        return scenario
+    if name == "fleet":
+        from . import fleet
+
+        return fleet
     if name in ("simulate_traffic", "TenantSpec"):
         from .serve import TenantSpec, simulate_traffic
 

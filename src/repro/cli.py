@@ -169,6 +169,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--policy", default="drop-tail",
                        choices=["drop-tail", "drop-head"])
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--scenario", default=None, metavar="NAME",
+                       help="failure/surge drill from the scenario library "
+                       "(see `repro scenario list`)")
 
     fsim = fleet_sub.add_parser(
         "simulate", help="simulate traffic over a replicated fleet"
@@ -205,6 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="RPS")
     fplan.add_argument("--max-replicas", type=int, default=64)
     fplan.add_argument("--duration-ms", type=float, default=100.0)
+    fplan.add_argument("--redundancy", type=int, default=0, metavar="N",
+                       help="plan N+k: force this many extra replicas down "
+                       "over the worst window of every probe")
 
     fauto = fleet_sub.add_parser(
         "autoscale", help="step a reactive autoscaler across traffic windows"
@@ -225,6 +231,22 @@ def build_parser() -> argparse.ArgumentParser:
     fauto.add_argument("--queue-low", type=float, default=1.0,
                        help="scale down when mean queue/replica is below this")
     fauto.add_argument("--initial-replicas", type=int, default=None)
+
+    scen = sub.add_parser(
+        "scenario",
+        help="failure/surge scenario library",
+        description="Named, seeded, horizon-relative drills (rack loss, "
+        "flash crowd, rolling reboot, ...) usable as --scenario NAME on "
+        "`repro fleet simulate|plan|autoscale` and `repro dse resilience`.",
+    )
+    scen_sub = scen.add_subparsers(dest="scenario_command", required=True)
+    slist = scen_sub.add_parser("list", help="list the named scenarios")
+    slist.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+    sdesc = scen_sub.add_parser("describe", help="describe one scenario")
+    sdesc.add_argument("name", metavar="NAME")
+    sdesc.add_argument("--json", action="store_true",
+                       help="emit the scenario spec as JSON")
 
     hls = sub.add_parser("hls", help="emit HLS C++ for an optimized design")
     hls.add_argument("--network", default="alexnet", choices=available_networks())
@@ -321,6 +343,35 @@ def build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--queue-depth", type=int, default=64)
     cost.add_argument("--policy", default="drop-tail",
                       choices=["drop-tail", "drop-head"])
+
+    resil = dse_sub.add_parser(
+        "resilience",
+        help="rank stored designs by SLO attainment through a failure drill",
+        description="Run every solved sweep point as a fixed-size fleet "
+        "under a named scenario and rank by in-incident tail latency and "
+        "lost requests — which design degrades least when boards die or "
+        "traffic spikes.",
+    )
+    resil.add_argument("--store", default="dse_results.jsonl")
+    resil.add_argument("--rate", type=float, default=1000.0,
+                       help="offered rate per tenant, req/s")
+    resil.add_argument("--scenario", default="rack-loss", metavar="NAME",
+                       help="drill from the scenario library")
+    resil.add_argument("--replicas", type=int, default=4)
+    resil.add_argument("--p99-ms", type=float, default=None)
+    resil.add_argument("--max-drop-rate", type=float, default=0.1,
+                       help="shed budget; keep above the scenario's "
+                       "intrinsic loss floor (in-flight work on failed "
+                       "boards is always lost)")
+    resil.add_argument("--min-throughput", type=float, default=None,
+                       metavar="RPS")
+    resil.add_argument("--duration-ms", type=float, default=100.0)
+    resil.add_argument("--seed", type=int, default=0)
+    resil.add_argument("--balancer", default="least-outstanding",
+                       choices=list(BALANCER_NAMES))
+    resil.add_argument("--queue-depth", type=int, default=64)
+    resil.add_argument("--policy", default="drop-tail",
+                       choices=["drop-tail", "drop-head"])
     return parser
 
 
@@ -621,6 +672,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                 queue_depth=args.queue_depth,
                 policy=args.policy,
                 drain=args.drain,
+                scenario=args.scenario,
             )
             lines = [result.format()]
             if args.save:
@@ -647,6 +699,8 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                 queue_depth=args.queue_depth,
                 policy=args.policy,
                 frequency_mhz=args.frequency_mhz,
+                scenario=args.scenario,
+                redundancy=args.redundancy,
             )
             lines = [plan.format()]
             if plan.meets and plan.result is not None:
@@ -675,12 +729,39 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             queue_depth=args.queue_depth,
             drop_policy=args.policy,
             frequency_mhz=args.frequency_mhz,
+            scenario=args.scenario,
         )
         return trace.format()
     except (ValueError, OptimizationError) as exc:
         raise SystemExit(
             f"repro fleet {args.fleet_command}: error: {exc}"
         ) from None
+
+
+def _cmd_scenario(args: argparse.Namespace) -> str:
+    import json as _json
+
+    from .core.serialize import scenario_spec_to_dict
+    from .scenario import SCENARIO_NAMES, describe_scenario, get_scenario
+
+    if args.scenario_command == "list":
+        if args.json:
+            return _json.dumps(list(SCENARIO_NAMES))
+        width = max(len(name) for name in SCENARIO_NAMES)
+        lines = ["Scenario library (use with --scenario NAME):", ""]
+        for name in SCENARIO_NAMES:
+            spec = get_scenario(name)
+            lines.append(f"  {name:<{width}}  {spec.description}")
+        return "\n".join(lines)
+
+    # describe
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as exc:
+        raise SystemExit(f"repro scenario describe: error: {exc}") from None
+    if args.json:
+        return _json.dumps(scenario_spec_to_dict(spec), indent=2)
+    return describe_scenario(spec)
 
 
 def _cmd_hls(args: argparse.Namespace) -> str:
@@ -763,6 +844,36 @@ def _cmd_dse(args: argparse.Namespace) -> str:
             policy=args.policy,
         )
         return cost_to_serve_table(rankings, rate_rps=args.rate, slo=slo)
+    if args.dse_command == "resilience":
+        from .dse import rank_by_resilience, resilience_rank_table
+        from .serve import SLOSpec
+
+        results = ResultStore(args.store).results()
+        if not results:
+            return f"store {args.store} is empty; run `repro dse sweep` first"
+        slo = SLOSpec(
+            p99_ms=args.p99_ms,
+            max_drop_rate=args.max_drop_rate,
+            min_throughput_rps=args.min_throughput,
+        )
+        try:
+            rankings = rank_by_resilience(
+                results,
+                rate_rps=args.rate,
+                slo=slo,
+                scenario=args.scenario,
+                replicas=args.replicas,
+                duration_ms=args.duration_ms,
+                seed=args.seed,
+                balancer=args.balancer,
+                queue_depth=args.queue_depth,
+                policy=args.policy,
+            )
+        except KeyError as exc:
+            raise SystemExit(f"repro dse resilience: error: {exc}") from None
+        return resilience_rank_table(
+            rankings, rate_rps=args.rate, slo=slo, scenario=args.scenario
+        )
 
     if args.parts is not None:
         parts = tuple(args.parts)
@@ -822,6 +933,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _cmd_validate(args)
     elif command == "serve":
         output = _cmd_serve(args)
+    elif command == "scenario":
+        output = _cmd_scenario(args)
     elif command == "fleet":
         output = _cmd_fleet(args)
     elif command == "hls":

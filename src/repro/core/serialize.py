@@ -9,7 +9,7 @@ The format is plain JSON with a schema version for forward evolution.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from .clp import CLPConfig
 from .datatypes import DataType
@@ -38,9 +38,12 @@ __all__ = [
     "fleet_result_from_dict",
     "dump_fleet_result",
     "load_fleet_result",
+    "scenario_spec_to_dict",
+    "scenario_spec_from_dict",
     "SCHEMA_VERSION",
     "SERVE_SCHEMA_VERSION",
     "FLEET_SCHEMA_VERSION",
+    "SCENARIO_SCHEMA_VERSION",
 ]
 
 SCHEMA_VERSION = 1
@@ -48,6 +51,8 @@ SCHEMA_VERSION = 1
 SERVE_SCHEMA_VERSION = 1
 
 FLEET_SCHEMA_VERSION = 1
+
+SCENARIO_SCHEMA_VERSION = 1
 
 
 def layer_to_dict(layer: ConvLayer) -> Dict[str, Any]:
@@ -202,6 +207,9 @@ def _tenant_stats_from_dict(entry: Dict[str, Any]) -> "TenantStats":
             if entry.get("steady_rate_per_cycle") is None
             else float(entry["steady_rate_per_cycle"])
         ),
+        # Absent in pre-scenario records: those runs could not lose
+        # requests to failures, so 0 is the true historical value.
+        lost=int(entry.get("lost", 0)),
     )
 
 
@@ -284,7 +292,79 @@ def fleet_result_from_dict(data: Dict[str, Any]) -> "FleetResult":
             _tenant_stats_from_dict(entry) for entry in data["tenants"]
         ),
         replicas=tuple(replicas),
+        scenario=data.get("scenario"),
+        incidents=tuple(
+            _incident_from_dict(entry) for entry in data.get("incidents", ())
+        ),
+        resilience=_resilience_from_dict(data.get("resilience")),
     )
+
+
+def _incident_from_dict(entry: Dict[str, Any]) -> "Incident":
+    from ..scenario.faults import Incident
+
+    return Incident(
+        kind=entry["kind"],
+        target=entry["target"],
+        start_cycles=float(entry["start_cycles"]),
+        end_cycles=float(entry["end_cycles"]),
+        recovered=bool(entry["recovered"]),
+    )
+
+
+def _resilience_from_dict(
+    data: Optional[Dict[str, Any]],
+) -> Optional["ResilienceReport"]:
+    if data is None:
+        return None
+    from ..scenario.resilience import ResilienceReport, WindowMetrics
+
+    def window(entry: Dict[str, Any]) -> WindowMetrics:
+        return WindowMetrics(
+            cycles=float(entry["cycles"]),
+            completions=int(entry["completions"]),
+            goodput_per_cycle=float(entry["goodput_per_cycle"]),
+            p99_cycles=(
+                None if entry.get("p99_cycles") is None
+                else float(entry["p99_cycles"])
+            ),
+            p50_cycles=(
+                None if entry.get("p50_cycles") is None
+                else float(entry["p50_cycles"])
+            ),
+        )
+
+    ttr = data.get("mean_time_to_recover_cycles")
+    return ResilienceReport(
+        availability=float(data["availability"]),
+        incident_cycles=float(data["incident_cycles"]),
+        lost_requests=int(data["lost_requests"]),
+        mean_time_to_recover_cycles=None if ttr is None else float(ttr),
+        during=window(data["during"]),
+        outside=window(data["outside"]),
+    )
+
+
+def scenario_spec_to_dict(spec: "ScenarioSpec") -> Dict[str, Any]:
+    """JSON-ready record of a scenario spec (faults, surge, policy)."""
+    from ..scenario.library import scenario_to_dict
+
+    record = scenario_to_dict(spec)
+    record["schema"] = SCENARIO_SCHEMA_VERSION
+    return record
+
+
+def scenario_spec_from_dict(data: Dict[str, Any]) -> "ScenarioSpec":
+    """Rebuild a scenario spec written by :func:`scenario_spec_to_dict`."""
+    from ..scenario.library import scenario_from_dict
+
+    schema = data.get("schema", SCENARIO_SCHEMA_VERSION)
+    if schema != SCENARIO_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported scenario schema {schema!r}; "
+            f"expected {SCENARIO_SCHEMA_VERSION}"
+        )
+    return scenario_from_dict(data)
 
 
 def dump_fleet_result(result: "FleetResult", path: str) -> None:

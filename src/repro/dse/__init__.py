@@ -22,13 +22,16 @@ points record their ``OptimizationError`` instead of aborting the sweep.
 from .analysis import (
     METRIC_NAMES,
     CostToServeRanking,
+    ResilienceRanking,
     TrafficRanking,
     best_per_group,
     cost_to_serve_table,
     frontier_table,
     pareto_frontier,
     rank_by_cost_to_serve,
+    rank_by_resilience,
     rank_by_traffic,
+    resilience_rank_table,
     summary_table,
     traffic_rank_table,
 )
@@ -55,6 +58,9 @@ __all__ = [
     "CostToServeRanking",
     "rank_by_cost_to_serve",
     "cost_to_serve_table",
+    "ResilienceRanking",
+    "rank_by_resilience",
+    "resilience_rank_table",
     "METRIC_NAMES",
     "canonical_json",
     "point_key",

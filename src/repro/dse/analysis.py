@@ -16,6 +16,7 @@ from ..analysis.report import render_table
 from .point import METRIC_NAMES, SweepResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..fleet.metrics import FleetResult
     from ..fleet.planner import CapacityPlan
     from ..serve.metrics import ServeResult
     from ..serve.slo import SLOReport, SLOSpec
@@ -32,6 +33,9 @@ __all__ = [
     "CostToServeRanking",
     "rank_by_cost_to_serve",
     "cost_to_serve_table",
+    "ResilienceRanking",
+    "rank_by_resilience",
+    "resilience_rank_table",
 ]
 
 #: Axes where smaller is better when used as an objective.
@@ -449,6 +453,163 @@ def cost_to_serve_table(
         rows,
         title=(
             f"cost-to-serve @ {rate_rps:g} r/s ({', '.join(clauses)}) "
+            f"-- {len(rankings)} designs"
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class ResilienceRanking:
+    """One stored design drilled as a fixed-size fleet under a scenario."""
+
+    result: SweepResult
+    fleet: "FleetResult"
+    report: "SLOReport"
+
+    @property
+    def during_p99_ms(self) -> Optional[float]:
+        """Tail latency inside the scenario's incident windows."""
+        resilience = self.fleet.resilience
+        if resilience is None or resilience.during.p99_cycles is None:
+            return None
+        return self.fleet.cycles_to_ms(resilience.during.p99_cycles)
+
+    @property
+    def sort_key(self) -> Tuple:
+        """Meets-SLO-through-the-drill first, then in-incident p99,
+        then fewest lost requests, then goodput.
+
+        The discriminator is deliberately the *in-incident* tail, not
+        the run-wide one: two designs that both survive a rack loss on
+        paper can differ 3x in what clients experienced while the rack
+        was down, and the run-wide percentile averages that away.
+        """
+        p99 = self.during_p99_ms
+        return (
+            0 if self.report.meets else 1,
+            -self.report.attainment,
+            p99 if p99 is not None else float("inf"),
+            self.fleet.total_lost,
+            -self.report.total_goodput_rps,
+        )
+
+
+def rank_by_resilience(
+    results: Iterable[SweepResult],
+    rate_rps: float,
+    slo: "SLOSpec",
+    *,
+    scenario: str = "rack-loss",
+    replicas: int = 4,
+    duration_ms: float = 100.0,
+    seed: int = 0,
+    balancer: str = "least-outstanding",
+    queue_depth: int = 64,
+    policy: str = "drop-tail",
+) -> List["ResilienceRanking"]:
+    """Rank solved sweep points by SLO attainment *through* a drill.
+
+    Every solved point becomes a ``replicas``-board fleet run under the
+    named scenario (same size for all candidates — this ranks designs,
+    not fleet budgets) and is scored against ``slo`` over the whole run,
+    losses included.  The throughput-per-board winner is not
+    automatically the resilience winner: a deeper pipeline holds more
+    in-flight work per board, so each board it loses to the drill takes
+    more requests down with it and its recovery backlog drains slower.
+
+    Remember that a fault drill puts a floor under the shed rate, so
+    rank with ``slo.max_drop_rate`` above that floor (see
+    :func:`repro.fleet.plan_capacity`'s note).
+    """
+    from ..fleet import DeviceSpec, simulate_fleet
+    from ..networks import get_network
+    from ..serve import TenantSpec, evaluate_slo, make_arrival_process
+    from ..serve.simulator import pipeline_latency_cycles
+
+    rankings: List[ResilienceRanking] = []
+    for result in results:
+        if not result.ok:
+            continue
+        point = result.point
+        network = get_network(point.network)
+        device = DeviceSpec(
+            design=result.design(network),
+            part=point.part,
+            bytes_per_cycle=point.budget().bytes_per_cycle(),
+        )
+        cycles_per_second = point.frequency_mhz * 1e6
+        spec = TenantSpec(
+            name=network.name,
+            process=make_arrival_process(
+                "poisson", rate_rps / cycles_per_second
+            ),
+        )
+        duration_cycles = max(
+            duration_ms * 1e-3 * cycles_per_second,
+            3.0 * pipeline_latency_cycles(
+                device.design, device.bytes_per_cycle
+            ),
+        )
+        fleet = simulate_fleet(
+            device.replicated(replicas),
+            [spec],
+            duration_cycles=duration_cycles,
+            balancer=balancer,
+            frequency_mhz=point.frequency_mhz,
+            seed=seed,
+            queue_depth=queue_depth,
+            policy=policy,
+            drain=True,
+            scenario=scenario,
+        )
+        rankings.append(
+            ResilienceRanking(
+                result=result,
+                fleet=fleet,
+                report=evaluate_slo(fleet, slo),
+            )
+        )
+    rankings.sort(key=lambda ranking: ranking.sort_key)
+    return rankings
+
+
+def resilience_rank_table(
+    rankings: Sequence["ResilienceRanking"],
+    rate_rps: float,
+    slo: "SLOSpec",
+    scenario: str,
+) -> str:
+    """Resilience ranking rendered as a table (most resilient first)."""
+    rows = []
+    for rank, entry in enumerate(rankings, start=1):
+        point = entry.result.point
+        resilience = entry.fleet.resilience
+        availability = (
+            f"{resilience.availability:.1%}" if resilience else "-"
+        )
+        p99 = entry.during_p99_ms
+        rows.append(
+            (
+                rank,
+                point.network,
+                point.budget_label,
+                point.dtype,
+                point.mode,
+                availability,
+                "-" if p99 is None else f"{p99:.2f}",
+                entry.fleet.total_lost,
+                f"{entry.report.worst_drop_rate:.1%}",
+                "yes" if entry.report.meets else "NO",
+            )
+        )
+    return render_table(
+        (
+            "#", "network", "budget", "dtype", "mode", "avail",
+            "incident p99 ms", "lost", "shed", "meets SLO",
+        ),
+        rows,
+        title=(
+            f"resilience ranking under {scenario} @ {rate_rps:g} r/s "
             f"-- {len(rankings)} designs"
         ),
     )

@@ -22,6 +22,9 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from ..scenario.faults import Incident, Outage
+from ..scenario.library import ScenarioSpec, get_scenario
+from ..scenario.resilience import compute_resilience
 from ..serve.metrics import LatencySummary, TenantStats
 from ..serve.simulator import DROP_POLICIES, TenantSpec, TenantState
 from .balancer import Balancer, make_balancer
@@ -45,6 +48,13 @@ class Replica:
         self.spec = spec
         self.index = index
         self.label = f"{spec.display_label}#{index}"
+        #: Failure-injection state: a replica is healthy iff no outage
+        #: currently covers it (``down_depth`` handles overlapping
+        #: schedules); ``generation`` bumps on every fresh failure so
+        #: completion events scheduled before the board died become
+        #: no-ops instead of resurrecting destroyed work.
+        self.down_depth = 0
+        self.generation = 0
         base, plans = spec.plans()
         self.epoch = spec.resolve_epoch()
         self.num_clps = base.num_clps
@@ -65,6 +75,10 @@ class Replica:
         return sum(
             len(state.queue) + state.pipeline for state in self.states.values()
         )
+
+    @property
+    def healthy(self) -> bool:
+        return self.down_depth == 0
 
     def serves(self, tenant: str) -> bool:
         return tenant in self.states
@@ -89,9 +103,19 @@ class Replica:
 
 
 def _aggregate_tenant(
-    spec: TenantSpec, states: Sequence[TenantState], elapsed: float
+    spec: TenantSpec,
+    states: Sequence[TenantState],
+    elapsed: float,
+    unroutable: int = 0,
 ) -> TenantStats:
-    """Fleet-wide view of one tenant: merge raw samples, then reduce."""
+    """Fleet-wide view of one tenant: merge raw samples, then reduce.
+
+    ``unroutable`` counts arrivals that found no healthy replica to land
+    on during an outage — they never reached a replica's state, so the
+    fleet books them here, once as an arrival and once as lost, keeping
+    the conservation invariant (arrivals = completions + drops + lost +
+    in-flight) intact.
+    """
     latencies: List[float] = []
     for state in states:
         latencies.extend(state.latencies)
@@ -104,7 +128,7 @@ def _aggregate_tenant(
     return TenantStats(
         name=spec.name,
         offered_rate_per_cycle=spec.process.mean_rate,
-        arrivals=sum(state.arrivals for state in states),
+        arrivals=sum(state.arrivals for state in states) + unroutable,
         completions=completions,
         drops=sum(state.drops for state in states),
         in_flight=sum(
@@ -116,6 +140,7 @@ def _aggregate_tenant(
         ),
         peak_queue_depth=max(state.peak_queue for state in states),
         steady_rate_per_cycle=steady,
+        lost=sum(state.lost for state in states) + unroutable,
     )
 
 
@@ -197,6 +222,7 @@ class ClusterSimulator:
         *,
         seed: int = 0,
         drain: bool = False,
+        scenario: Union[str, ScenarioSpec, None] = None,
     ) -> FleetResult:
         """One seeded traffic window over the whole fleet.
 
@@ -206,11 +232,24 @@ class ClusterSimulator:
         the horizon but serves out every queue, so arrivals equal
         completions plus drops exactly.  Identical arguments produce an
         identical :class:`~repro.fleet.metrics.FleetResult`.
+
+        ``scenario`` (a name from :data:`repro.scenario.SCENARIOS` or a
+        :class:`~repro.scenario.ScenarioSpec`) overlays a failure/surge
+        drill on the run: fault specs become fail/recover events inside
+        this same event loop, surge shapes replace each tenant's arrival
+        process with a time-varying one, and the result carries the
+        incident log plus a resilience report.  Fault draws come from a
+        dedicated RNG substream (``{seed}/scenario/faults``), so a
+        scenario never perturbs the arrival streams; a *no-op* scenario
+        (no faults, no surge) is bit-exact to passing ``scenario=None``
+        apart from the result's ``scenario`` label.
         """
         from ..sim.engine import Simulator
 
         if duration_cycles <= 0:
             raise ValueError("duration_cycles must be positive")
+        if isinstance(scenario, str):
+            scenario = get_scenario(scenario)
 
         sim = Simulator()
         replicas: List[Replica] = []
@@ -240,11 +279,40 @@ class ClusterSimulator:
         #: One open/closed flag per tenant *stream* (shared by replicas).
         stream_open = [True] * len(self.tenants)
 
+        # ----------------------------------------------- scenario overlay
+        # Surge shapes swap each tenant's arrival process for a
+        # time-varying one; fault specs materialize into concrete outage
+        # windows against a *dedicated* RNG substream, so the arrival
+        # streams below draw exactly what they would without a scenario.
+        processes = [spec.process for spec in self.tenants]
+        outages: List[Outage] = []
+        failure_policy = "requeue"
+        if scenario is not None:
+            failure_policy = scenario.failure_policy
+            if scenario.surge is not None:
+                processes = [
+                    scenario.surge.reshape(
+                        spec.process, horizon, index, len(self.tenants)
+                    )
+                    for index, spec in enumerate(self.tenants)
+                ]
+            fault_rng = random.Random(f"{seed}/scenario/faults")
+            for fault in scenario.faults:
+                outages.extend(
+                    fault.materialize(horizon, len(replicas), fault_rng)
+                )
+            outages.sort(key=lambda o: (o.start, o.replica))
+        have_faults = bool(outages)
+        #: Arrivals that found no healthy replica, per tenant name.
+        unroutable: Dict[str, int] = {spec.name: 0 for spec in self.tenants}
+        #: (finish_cycles, latency_cycles) fleet-wide, for resilience.
+        samples: List[Tuple[float, float]] = []
+
         def start_stream(spec: TenantSpec, index: int) -> None:
             # Same RNG keying as the single-device simulator: the fleet
             # sees the *same* traffic a lone board would.
             rng = random.Random(f"{seed}/{index}/{spec.name}")
-            stream: Iterator[float] = spec.process.times(rng)
+            stream: Iterator[float] = processes[index].times(rng)
             limit = spec.limit
 
             def pump(count: int = 0) -> None:
@@ -261,9 +329,19 @@ class ClusterSimulator:
                     return
 
                 def fire() -> None:
-                    choice = balancer.route(
-                        spec.name, eligible[spec.name], sim.now
-                    )
+                    targets = eligible[spec.name]
+                    if have_faults:
+                        targets = tuple(
+                            i for i in targets if replicas[i].healthy
+                        )
+                        if not targets:
+                            # Nobody can take it: the fleet still saw the
+                            # request — booked as arrived and lost at
+                            # aggregation time.
+                            unroutable[spec.name] += 1
+                            pump(count + 1)
+                            return
+                    choice = balancer.route(spec.name, targets, sim.now)
                     replicas[choice].states[spec.name].on_arrival(sim.now)
                     pump(count + 1)
 
@@ -274,22 +352,81 @@ class ClusterSimulator:
         for index, spec in enumerate(self.tenants):
             start_stream(spec, index)
 
+        # ------------------------------------------------- fault events
+        def fail(replica: Replica) -> None:
+            replica.down_depth += 1
+            if replica.down_depth > 1:
+                return  # already down (overlapping outage windows)
+            # Work in the pipeline dies with the board; a new generation
+            # turns its already-scheduled completion events into no-ops.
+            replica.generation += 1
+            for state in replica.states.values():
+                state.lost += state.pipeline
+                state.pipeline = 0
+                evacuated = list(state.queue)
+                if not evacuated:
+                    continue
+                state._touch(sim.now)
+                state.queue.clear()
+                for arrival in evacuated:
+                    if failure_policy == "lost":
+                        state.lost += 1
+                        continue
+                    rescue = tuple(
+                        i
+                        for i in eligible[state.spec.name]
+                        if replicas[i].healthy
+                    )
+                    if not rescue:
+                        state.lost += 1
+                        continue
+                    choice = balancer.route(
+                        state.spec.name, rescue, sim.now
+                    )
+                    replicas[choice].states[state.spec.name].requeue(
+                        arrival, sim.now
+                    )
+
+        def recover(replica: Replica) -> None:
+            replica.down_depth -= 1
+
+        for outage in outages:
+            target = replicas[outage.replica]
+            sim.schedule_at(
+                outage.start, lambda target=target: fail(target)
+            )
+            sim.schedule_at(
+                outage.end, lambda target=target: recover(target)
+            )
+
+        record = scenario is not None
+
+        def finish(
+            replica: Replica, state: TenantState, arrival: float, gen: int
+        ) -> None:
+            if replica.generation != gen:
+                return  # the board died after admission; work already lost
+            state.on_completion(arrival, sim.now)
+            if record:
+                samples.append((sim.now, sim.now - arrival))
+
         def make_boundary(replica: Replica):
             epoch = replica.epoch
 
             def boundary() -> None:
-                for state in replica.states.values():
-                    arrival = state.admit(sim.now)
-                    if arrival is None:
-                        continue
-                    for clp_index, cycles in enumerate(state.clp_cycles):
-                        replica.clp_busy[clp_index] += cycles
-                    sim.schedule(
-                        state.depth_epochs * epoch,
-                        lambda state=state, arrival=arrival: state.on_completion(
-                            arrival, sim.now
-                        ),
-                    )
+                if replica.healthy:
+                    for state in replica.states.values():
+                        arrival = state.admit(sim.now)
+                        if arrival is None:
+                            continue
+                        for clp_index, cycles in enumerate(state.clp_cycles):
+                            replica.clp_busy[clp_index] += cycles
+                        sim.schedule(
+                            state.depth_epochs * epoch,
+                            lambda state=state, arrival=arrival, gen=replica.generation: finish(
+                                replica, state, arrival, gen
+                            ),
+                        )
                 upcoming = sim.now + epoch
                 pending = any(
                     state.queue for state in replica.states.values()
@@ -321,9 +458,46 @@ class ClusterSimulator:
                     if replica.serves(spec.name)
                 ],
                 elapsed,
+                unroutable[spec.name],
             )
             for spec in self.tenants
         )
+
+        incidents: Tuple[Incident, ...] = ()
+        resilience = None
+        if scenario is not None:
+            log: List[Incident] = [
+                Incident(
+                    kind="fault",
+                    target=replicas[o.replica].label,
+                    start_cycles=o.start,
+                    end_cycles=min(o.end, elapsed),
+                    recovered=o.end <= elapsed,
+                )
+                for o in outages
+            ]
+            if scenario.surge is not None:
+                log.extend(
+                    Incident(
+                        kind="surge",
+                        target="fleet",
+                        start_cycles=start,
+                        end_cycles=end,
+                        recovered=True,
+                    )
+                    for start, end in scenario.surge.windows(horizon)
+                )
+            incidents = tuple(
+                sorted(log, key=lambda i: (i.start_cycles, i.target))
+            )
+            resilience = compute_resilience(
+                completions=samples,
+                incidents=incidents,
+                horizon_cycles=elapsed,
+                num_replicas=len(replicas),
+                lost_requests=sum(t.lost for t in aggregates),
+            )
+
         return FleetResult(
             balancer=balancer.name,
             num_replicas=len(replicas),
@@ -336,6 +510,9 @@ class ClusterSimulator:
             drained=drain,
             tenants=aggregates,
             replicas=tuple(replica.stats(elapsed) for replica in replicas),
+            scenario=scenario.name if scenario is not None else None,
+            incidents=incidents,
+            resilience=resilience,
         )
 
 
@@ -350,6 +527,7 @@ def simulate_fleet(
     queue_depth: int = 64,
     policy: str = "drop-tail",
     drain: bool = False,
+    scenario: Union[str, ScenarioSpec, None] = None,
 ) -> FleetResult:
     """One-shot convenience wrapper around :class:`ClusterSimulator`."""
     cluster = ClusterSimulator(
@@ -360,4 +538,4 @@ def simulate_fleet(
         queue_depth=queue_depth,
         policy=policy,
     )
-    return cluster.run(duration_cycles, seed=seed, drain=drain)
+    return cluster.run(duration_cycles, seed=seed, drain=drain, scenario=scenario)

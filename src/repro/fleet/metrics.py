@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from ..scenario.faults import Incident
+from ..scenario.resilience import ResilienceReport, WindowMetrics
 from ..serve.metrics import TenantStats
 
 __all__ = ["ReplicaStats", "FleetResult"]
@@ -84,6 +86,13 @@ class FleetResult:
     drained: bool
     tenants: Tuple[TenantStats, ...]
     replicas: Tuple[ReplicaStats, ...]
+    #: Name of the scenario the run executed, or ``None`` for a plain run.
+    #: All three scenario fields default to their empty values so a
+    #: scenario-less result is byte-identical to pre-scenario results —
+    #: the no-op differential test compares against exactly this.
+    scenario: Optional[str] = None
+    incidents: Tuple[Incident, ...] = ()
+    resilience: Optional[ResilienceReport] = None
 
     # ------------------------------------------------------------ conversions
     @property
@@ -116,6 +125,11 @@ class FleetResult:
     @property
     def total_drops(self) -> int:
         return sum(t.drops for t in self.tenants)
+
+    @property
+    def total_lost(self) -> int:
+        """Requests destroyed by failures, fleet-wide (see ``TenantStats.lost``)."""
+        return sum(t.lost for t in self.tenants)
 
     # --------------------------------------------------------------- capacity
     def tenant_capacity_rps(self, name: str) -> float:
@@ -219,4 +233,38 @@ class FleetResult:
             f"({self.elapsed_cycles:.0f} cycles)"
             + (", drained" if self.drained else "")
         )
-        return f"{tenant_table}\n\n{replica_table}\n{window}"
+        report = f"{tenant_table}\n\n{replica_table}\n{window}"
+        if self.scenario is not None:
+            report += f"\n{self._format_resilience()}"
+        return report
+
+    def _format_resilience(self) -> str:
+        lines = [
+            f"scenario: {self.scenario} "
+            f"({len(self.incidents)} incidents, {self.total_lost} requests lost)"
+        ]
+        r = self.resilience
+        if r is not None:
+            def p99(window: WindowMetrics) -> str:
+                if window.p99_cycles is None:
+                    return "-"
+                return f"{self.cycles_to_ms(window.p99_cycles):.2f}ms"
+
+            ttr = (
+                f"{self.cycles_to_ms(r.mean_time_to_recover_cycles):.2f}ms"
+                if r.mean_time_to_recover_cycles is not None
+                else "-"
+            )
+            lines.append(
+                f"  availability={r.availability:.2%}  mean-ttr={ttr}  "
+                f"incident window={self.cycles_to_ms(r.incident_cycles):.1f}ms"
+            )
+            lines.append(
+                f"  during incidents:  p99={p99(r.during)}  "
+                f"goodput={self.rate_to_rps(r.during.goodput_per_cycle):.1f} r/s"
+            )
+            lines.append(
+                f"  outside incidents: p99={p99(r.outside)}  "
+                f"goodput={self.rate_to_rps(r.outside.goodput_per_cycle):.1f} r/s"
+            )
+        return "\n".join(lines)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
+from ..scenario.library import ScenarioSpec, get_scenario
 from ..serve.simulator import TenantSpec, pipeline_latency_cycles
 from ..serve.slo import SLOReport, SLOSpec, evaluate_slo
 from .balancer import Balancer
@@ -79,6 +80,12 @@ class CapacityPlan:
     probes: Tuple[PlanProbe, ...]
     result: Optional[FleetResult]  # the fleet at the planned count
     report: Optional[SLOReport]
+    #: Scenario the probes ran under (after any redundancy overlay);
+    #: ``None`` for a plain fault-free plan.  Defaults keep pre-scenario
+    #: plans comparing equal.
+    scenario: Optional[str] = None
+    #: Extra replica failures the plan was forced to survive (N+k).
+    redundancy: int = 0
 
     @property
     def meets(self) -> bool:
@@ -102,13 +109,19 @@ class CapacityPlan:
             if self.meets
             else f"SLO not met within {self.max_replicas} replicas"
         )
+        stress = ""
+        if self.scenario is not None:
+            stress = f" under {self.scenario}"
         table = render_table(
             ("replicas", "p99 ms", "drop", "goodput r/s", "meets SLO"),
             rows,
             title=(
-                f"capacity plan @ {self.rate_rps:g} r/s per tenant -- {verdict}"
+                f"capacity plan @ {self.rate_rps:g} r/s per tenant"
+                f"{stress} -- {verdict}"
             ),
         )
+        if self.result is not None and self.result.resilience is not None:
+            table += "\n" + self.result._format_resilience()
         return table
 
 
@@ -125,6 +138,8 @@ def plan_capacity(
     queue_depth: int = 64,
     policy: str = "drop-tail",
     frequency_mhz: float = 100.0,
+    scenario: Union[str, ScenarioSpec, None] = None,
+    redundancy: int = 0,
 ) -> CapacityPlan:
     """Minimum replicas of ``device`` meeting ``slo`` at ``rate_rps``.
 
@@ -133,6 +148,17 @@ def plan_capacity(
     non-uniform mix.  The search doubles the fleet until the SLO is met
     (or ``max_replicas`` is hit), then binary-searches the gap — probing
     O(log n) counts, each one seeded, drained fleet simulation.
+
+    ``scenario`` makes every probe run a failure/surge drill (see
+    :mod:`repro.scenario`), so the plan answers "how many boards survive
+    a rack loss at the daily peak?" rather than the fair-weather
+    question.  ``redundancy=k`` additionally forces the *last* ``k``
+    replicas down over the worst window of each probe (N+k planning);
+    the search then starts at ``k + 1`` boards, since a fleet of ``k``
+    can be wiped out entirely.  Note a fault scenario makes a strict
+    ``max_drop_rate=0`` unattainable — work in flight on a dying board
+    is always lost — so plan drills with a small positive drop budget
+    and let the latency clause bind.
 
     The bisection is sound only for *load-spreading* policies, where a
     bigger fleet gives every tenant more admission slots and SLO
@@ -146,6 +172,18 @@ def plan_capacity(
         raise ValueError("rate_rps must be positive")
     if max_replicas < 1:
         raise ValueError("max_replicas must be at least 1")
+    if redundancy < 0:
+        raise ValueError("redundancy must be >= 0")
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if redundancy > 0:
+        base = scenario if scenario is not None else get_scenario("steady")
+        scenario = base.with_redundancy(redundancy)
+    if redundancy >= max_replicas:
+        raise ValueError(
+            f"redundancy {redundancy} leaves no surviving replica within "
+            f"max_replicas {max_replicas}"
+        )
     balancer_name = (
         balancer if isinstance(balancer, str)
         else balancer.name if balancer is not None
@@ -177,18 +215,22 @@ def plan_capacity(
                 queue_depth=queue_depth,
                 policy=policy,
             )
-            result = cluster.run(duration_cycles, seed=seed, drain=True)
+            result = cluster.run(
+                duration_cycles, seed=seed, drain=True, scenario=scenario
+            )
             evaluations[count] = (result, evaluate_slo(result, slo))
         return evaluations[count]
 
-    # Exponential probe for an upper bound, then bisect the gap.
-    count = 1
+    # Exponential probe for an upper bound, then bisect the gap.  With
+    # redundancy k the floor is k+1 boards (k of them will be failed).
+    floor = redundancy + 1
+    count = floor
     while not evaluate(count)[1].meets and count < max_replicas:
         count = min(count * 2, max_replicas)
     if not evaluate(count)[1].meets:
         planned: Optional[int] = None
     else:
-        low = count // 2 + 1 if count > 1 else 1
+        low = max(count // 2 + 1, floor) if count > floor else floor
         high = count
         while low < high:
             mid = (low + high) // 2
@@ -217,6 +259,8 @@ def plan_capacity(
         probes=probes,
         result=final[0] if final else None,
         report=final[1] if final else None,
+        scenario=scenario.name if scenario is not None else None,
+        redundancy=redundancy,
     )
 
 
@@ -255,8 +299,26 @@ class AutoscalerPolicy:
 
     # ------------------------------------------------------------- decisions
     def decide(self, result: FleetResult) -> int:
-        """Replica delta for the next window (positive = scale up)."""
+        """Replica delta for the next window (positive = scale up).
+
+        When the window ran a scenario, the pressure signal is the worse
+        of the whole-window p99 and the *in-incident* p99 from the
+        resilience report.  A short flash crowd can triple latency inside
+        its spike yet leave the window-wide percentile under the
+        threshold (calm traffic dominates the sample), and a controller
+        watching only the aggregate scales up one window late — after
+        the spike already burned the SLO.
+        """
         p99_ms = self._observed_p99_ms(result)
+        resilience = result.resilience
+        if (
+            p99_ms is not None
+            and resilience is not None
+            and resilience.during.p99_cycles is not None
+        ):
+            p99_ms = max(
+                p99_ms, result.cycles_to_ms(resilience.during.p99_cycles)
+            )
         queue = self._queue_per_replica(result)
         up = False
         if self.p99_high_ms is not None:
@@ -364,6 +426,7 @@ def autoscale(
     queue_depth: int = 64,
     drop_policy: str = "drop-tail",
     frequency_mhz: float = 100.0,
+    scenario: Union[str, ScenarioSpec, None] = None,
 ) -> AutoscaleTrace:
     """Step a reactive autoscaler across per-window offered rates.
 
@@ -373,6 +436,14 @@ def autoscale(
     fluid approximation for control-loop studies).  Window ``w`` runs at
     seed ``seed + w`` so consecutive windows see fresh randomness while
     the whole trace stays reproducible.
+
+    ``scenario`` replays the drill inside *every* window (the window is
+    the scenario's horizon): a flash-crowd scenario spikes each window,
+    a rack-loss scenario fails boards each window — sustained incident
+    pressure, the hostile environment for threshold tuning.  Because
+    :meth:`AutoscalerPolicy.decide` reads each window's resilience
+    report, the controller reacts to in-incident degradation rather
+    than only the window-wide aggregate.
     """
     if not rate_schedule:
         raise ValueError("rate_schedule must name at least one window")
@@ -401,7 +472,9 @@ def autoscale(
             queue_depth=queue_depth,
             policy=drop_policy,
         )
-        result = cluster.run(duration_cycles, seed=seed + index, drain=True)
+        result = cluster.run(
+            duration_cycles, seed=seed + index, drain=True, scenario=scenario
+        )
         action = policy.decide(result)
         windows.append(
             AutoscaleWindow(

@@ -1,0 +1,336 @@
+"""Seeded replica fail/recover injection for the cluster simulator.
+
+A fault spec is a frozen description of *how* replicas fail; at run
+start the cluster materializes every spec against the concrete horizon,
+replica count, and a dedicated fault RNG substream into a flat list of
+:class:`Outage` windows, then drives them as ordinary events inside the
+discrete-event loop (down at ``start``, recovery at ``end``).  Keeping
+materialization up front has two payoffs: the injected schedule is
+reproducible and inspectable (it becomes the run's
+:class:`Incident` record), and the fault RNG is consumed in one place —
+enabling a scenario can never perturb the arrival-stream draws, which
+live on their own substreams (the determinism tests pin this).
+
+Times and durations are expressed as *fractions of the horizon* by
+default (``relative=True``), so one named scenario stresses a 10 ms
+probe window and a 10 s soak identically; absolute cycle values are for
+hand-built schedules.
+
+What failure means for requests is the scenario's ``failure_policy``
+(see :data:`FAILURE_POLICIES`): work already in a dead board's pipeline
+is always lost with the board, while its *queued* requests are either
+``requeue``-d through the balancer to surviving replicas or ``lost``
+outright (modelling state that dies with the host).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Tuple
+
+__all__ = [
+    "FAILURE_POLICIES",
+    "Outage",
+    "Incident",
+    "FaultSpec",
+    "RandomFaults",
+    "ScheduledOutage",
+    "RackFailure",
+    "RollingReboot",
+    "RedundancyOutage",
+    "fault_to_dict",
+    "fault_from_dict",
+]
+
+#: What happens to a failed replica's queued requests: re-routed through
+#: the balancer to healthy replicas, or destroyed with the board.
+FAILURE_POLICIES = ("requeue", "lost")
+
+
+@dataclass(frozen=True)
+class Outage:
+    """One materialized down-window of one replica (cycles, absolute)."""
+
+    replica: int
+    start: float
+    end: float
+    cause: str
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"outage window [{self.start}, {self.end}) is empty or negative"
+            )
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One service-affecting window as recorded on a ``FleetResult``.
+
+    ``kind`` is ``"fault"`` for replica outages and ``"surge"`` for
+    declared traffic windows (flash-crowd spike, diurnal peak);
+    ``target`` names the affected replica label, or ``"fleet"`` for
+    traffic-wide incidents.  ``end`` is clipped to the observation
+    window, with ``recovered`` recording whether the incident actually
+    closed inside it — an unrecovered incident's duration is censored,
+    so time-to-recover averages skip it.
+    """
+
+    kind: str
+    target: str
+    start_cycles: float
+    end_cycles: float
+    recovered: bool
+
+    @property
+    def duration_cycles(self) -> float:
+        return self.end_cycles - self.start_cycles
+
+
+class FaultSpec:
+    """Base class: a seeded recipe for replica down-windows.
+
+    ``materialize`` receives the run's horizon, replica count, and the
+    scenario's dedicated fault RNG, and returns concrete
+    :class:`Outage` windows (absolute cycles, clipped to start inside
+    the horizon).  Deterministic specs must not touch the RNG, so mixing
+    scheduled and random faults keeps the scheduled part bit-stable.
+    """
+
+    #: Registry key for (de)serialization; set on each concrete spec.
+    kind = "abstract"
+
+    def materialize(
+        self, horizon: float, num_replicas: int, rng: random.Random
+    ) -> List[Outage]:
+        raise NotImplementedError
+
+
+def _check_window(start: float, duration: float, relative: bool) -> None:
+    if start < 0 or duration <= 0:
+        raise ValueError(
+            f"fault window start={start} duration={duration} must be "
+            "non-negative / positive"
+        )
+    if relative and start >= 1.0:
+        raise ValueError(
+            f"relative fault start {start} must lie inside the horizon [0, 1)"
+        )
+
+
+def _scale(value: float, horizon: float, relative: bool) -> float:
+    return value * horizon if relative else value
+
+
+@dataclass(frozen=True)
+class RandomFaults(FaultSpec):
+    """Memoryless fail/recover per replica: MTTF/MTTR exponentials.
+
+    Every replica independently alternates up-phases (exponential, mean
+    ``mttf``) and down-phases (exponential, mean ``mttr``) — the
+    textbook availability model (steady-state availability
+    ``mttf / (mttf + mttr)``).  Draws come replica by replica in index
+    order from the scenario's fault RNG, so the schedule is a pure
+    function of (seed, horizon, replica count).
+    """
+
+    kind = "random"
+
+    mttf: float = 0.5
+    mttr: float = 0.05
+    relative: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mttf <= 0 or self.mttr <= 0:
+            raise ValueError("mttf and mttr must be positive")
+
+    def materialize(
+        self, horizon: float, num_replicas: int, rng: random.Random
+    ) -> List[Outage]:
+        mttf = _scale(self.mttf, horizon, self.relative)
+        mttr = _scale(self.mttr, horizon, self.relative)
+        outages: List[Outage] = []
+        for replica in range(num_replicas):
+            now = rng.expovariate(1.0 / mttf)
+            while now < horizon:
+                down = rng.expovariate(1.0 / mttr)
+                outages.append(
+                    Outage(replica, now, now + down, cause="random")
+                )
+                now += down + rng.expovariate(1.0 / mttf)
+        return outages
+
+
+@dataclass(frozen=True)
+class ScheduledOutage(FaultSpec):
+    """One replica down over a fixed window (maintenance, known failure)."""
+
+    kind = "scheduled"
+
+    replica: int = 0
+    start: float = 0.4
+    duration: float = 0.2
+    relative: bool = True
+
+    def __post_init__(self) -> None:
+        if self.replica < 0:
+            raise ValueError("replica index must be non-negative")
+        _check_window(self.start, self.duration, self.relative)
+
+    def materialize(
+        self, horizon: float, num_replicas: int, rng: random.Random
+    ) -> List[Outage]:
+        if self.replica >= num_replicas:
+            return []  # spec written for a bigger fleet; nothing to fail here
+        start = _scale(self.start, horizon, self.relative)
+        duration = _scale(self.duration, horizon, self.relative)
+        if start >= horizon:
+            return []
+        return [Outage(self.replica, start, start + duration, cause="scheduled")]
+
+
+@dataclass(frozen=True)
+class RackFailure(FaultSpec):
+    """Correlated loss: a fixed fraction of the fleet down together.
+
+    Models a rack/PDU/switch failure — the first ``ceil(fraction * N)``
+    replicas (one "rack" under the fleet's natural ordering) go down at
+    ``start`` and recover together.  The point of the correlation is
+    that redundancy planned for independent failures is not enough;
+    this is the scenario N+1 capacity questions are asked against.
+    """
+
+    kind = "rack"
+
+    fraction: float = 0.5
+    start: float = 0.4
+    duration: float = 0.25
+    relative: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+        _check_window(self.start, self.duration, self.relative)
+
+    def materialize(
+        self, horizon: float, num_replicas: int, rng: random.Random
+    ) -> List[Outage]:
+        members = math.ceil(self.fraction * num_replicas)
+        start = _scale(self.start, horizon, self.relative)
+        duration = _scale(self.duration, horizon, self.relative)
+        if start >= horizon:
+            return []
+        return [
+            Outage(replica, start, start + duration, cause="rack")
+            for replica in range(min(members, num_replicas))
+        ]
+
+
+@dataclass(frozen=True)
+class RollingReboot(FaultSpec):
+    """Staggered one-at-a-time outages: a rolling upgrade across the fleet.
+
+    Replica ``i`` reboots for ``duration`` starting at evenly spaced
+    points across ``[window_start, window_end - duration]``, so at most
+    one replica is down at a time whenever the window affords the
+    spacing — the deploy pattern operators actually use, and the
+    scenario that separates "survives one loss" from "survives only
+    zero losses".
+    """
+
+    kind = "rolling"
+
+    duration: float = 0.08
+    window_start: float = 0.1
+    window_end: float = 0.9
+    relative: bool = True
+
+    def __post_init__(self) -> None:
+        _check_window(self.window_start, self.duration, self.relative)
+        if not self.window_start < self.window_end <= 1.0 if self.relative else False:
+            if self.window_end <= self.window_start:
+                raise ValueError("window_end must exceed window_start")
+
+    def materialize(
+        self, horizon: float, num_replicas: int, rng: random.Random
+    ) -> List[Outage]:
+        duration = _scale(self.duration, horizon, self.relative)
+        lo = _scale(self.window_start, horizon, self.relative)
+        hi = _scale(self.window_end, horizon, self.relative)
+        span = max(hi - lo - duration, 0.0)
+        step = span / max(num_replicas - 1, 1)
+        outages: List[Outage] = []
+        for replica in range(num_replicas):
+            start = lo + replica * step
+            if start >= horizon:
+                continue
+            outages.append(
+                Outage(replica, start, start + duration, cause="rolling")
+            )
+        return outages
+
+
+@dataclass(frozen=True)
+class RedundancyOutage(FaultSpec):
+    """Force the *last* ``count`` replicas down over one window.
+
+    The capacity planner's N+k probe: killing replicas from the end of
+    the index order avoids overlapping a scenario's own rack failure
+    (which takes replicas from the front), so the forced loss is always
+    *additional* stress — the conservative reading of "plan for k more
+    failures on top of the scenario".
+    """
+
+    kind = "redundancy"
+
+    count: int = 1
+    start: float = 0.35
+    duration: float = 0.3
+    relative: bool = True
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("count must be at least 1")
+        _check_window(self.start, self.duration, self.relative)
+
+    def materialize(
+        self, horizon: float, num_replicas: int, rng: random.Random
+    ) -> List[Outage]:
+        start = _scale(self.start, horizon, self.relative)
+        duration = _scale(self.duration, horizon, self.relative)
+        if start >= horizon:
+            return []
+        count = min(self.count, num_replicas)
+        return [
+            Outage(replica, start, start + duration, cause="redundancy")
+            for replica in range(num_replicas - count, num_replicas)
+        ]
+
+
+_FAULT_KINDS = (
+    RandomFaults,
+    ScheduledOutage,
+    RackFailure,
+    RollingReboot,
+    RedundancyOutage,
+)
+
+
+def fault_to_dict(spec: FaultSpec) -> Dict[str, Any]:
+    """JSON-ready record of a fault spec (``kind`` + its parameters)."""
+    record: Dict[str, Any] = {"kind": spec.kind}
+    record.update(asdict(spec))
+    return record
+
+
+def fault_from_dict(data: Dict[str, Any]) -> FaultSpec:
+    """Rebuild a fault spec from its :func:`fault_to_dict` record."""
+    kind = data.get("kind")
+    for cls in _FAULT_KINDS:
+        if cls.kind == kind:
+            params = {k: v for k, v in data.items() if k != "kind"}
+            return cls(**params)
+    known = ", ".join(cls.kind for cls in _FAULT_KINDS)
+    raise ValueError(f"unknown fault kind {kind!r}; known: {known}")

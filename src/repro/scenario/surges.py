@@ -1,0 +1,214 @@
+"""Non-stationary arrival generators: surges, ramps, and tenant churn.
+
+The serve-layer processes (:mod:`repro.serve.arrivals`) are stationary —
+their long-run rate never moves.  Production traffic does: a service
+sees a diurnal sinusoid, flash crowds around events, launch ramps, and
+tenants that join and leave.  Every generator here is a time-varying-
+rate :class:`~repro.serve.arrivals.ArrivalProcess`, so they drop into
+the single-device and fleet simulators exactly like the stationary
+shapes (same seeded-RNG contract, same strictly non-decreasing times).
+
+Implementation: Lewis–Shedler thinning of a homogeneous Poisson
+process.  Candidates are drawn at ``peak_rate`` and accepted with
+probability ``rate_at(t) / peak_rate``, which samples any bounded rate
+profile exactly and stays deterministic under a fixed RNG — two draws
+per candidate, nothing else.
+
+Rates and times are in the repo's clock-agnostic currency (requests and
+cycles); the scenario library scales shapes to a concrete horizon when a
+run starts (see :class:`repro.scenario.library.SurgeShape`).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..serve.arrivals import ArrivalProcess, _check_rate
+
+__all__ = [
+    "TimeVaryingArrivals",
+    "DiurnalArrivals",
+    "FlashCrowdArrivals",
+    "RampArrivals",
+    "OnOffArrivals",
+]
+
+
+class TimeVaryingArrivals(ArrivalProcess):
+    """Base for thinned-Poisson processes with a bounded rate profile.
+
+    Subclasses implement :meth:`rate_at` (instantaneous arrivals per
+    cycle) and :attr:`peak_rate` (a tight upper bound on it); ``times``
+    is shared.  ``mean_rate`` reports the *baseline* rate — the value an
+    operator would quote as the tenant's nominal load — since the true
+    time average depends on the observation window.
+    """
+
+    #: Tight upper bound on :meth:`rate_at` over all times.
+    peak_rate: float
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate (requests per cycle) at time ``t``."""
+        raise NotImplementedError
+
+    def times(self, rng: random.Random) -> Iterator[float]:
+        peak = self.peak_rate
+        now = 0.0
+        while True:
+            now += rng.expovariate(peak)
+            if rng.random() * peak <= self.rate_at(now):
+                yield now
+
+
+@dataclass(frozen=True)
+class DiurnalArrivals(TimeVaryingArrivals):
+    """Sinusoidal day/night modulation around a baseline ``rate``.
+
+    ``rate_at(t) = rate * (1 + amplitude * sin(2*pi*t/period + phase))``
+    — the classic diurnal curve.  With ``phase=0`` the quietest point is
+    at ``3/4 period`` and the peak at ``1/4 period``, so one full period
+    over a simulation window models one traffic "day".
+    """
+
+    rate: float
+    amplitude: float = 0.7
+    period_cycles: float = 1_000_000.0
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError(
+                f"amplitude must be in [0, 1), got {self.amplitude} "
+                "(1 would drive the trough rate to zero)"
+            )
+        if self.period_cycles <= 0:
+            raise ValueError("period_cycles must be positive")
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    @property
+    def peak_rate(self) -> float:
+        return self.rate * (1.0 + self.amplitude)
+
+    def rate_at(self, t: float) -> float:
+        angle = 2.0 * math.pi * t / self.period_cycles + self.phase
+        return self.rate * (1.0 + self.amplitude * math.sin(angle))
+
+
+@dataclass(frozen=True)
+class FlashCrowdArrivals(TimeVaryingArrivals):
+    """Baseline Poisson traffic with a multiplicative spike window.
+
+    Outside ``[spike_start, spike_start + spike_cycles)`` the rate is
+    ``rate``; inside it is ``rate * multiplier`` — the flash crowd a
+    viral link or a retry storm produces.
+    """
+
+    rate: float
+    multiplier: float = 4.0
+    spike_start_cycles: float = 0.0
+    spike_cycles: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if self.multiplier <= 1.0:
+            raise ValueError(
+                f"multiplier must exceed 1, got {self.multiplier} "
+                "(a <=1x spike is just baseline traffic)"
+            )
+        if self.spike_start_cycles < 0 or self.spike_cycles <= 0:
+            raise ValueError("spike window must be non-negative and non-empty")
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate
+
+    @property
+    def peak_rate(self) -> float:
+        return self.rate * self.multiplier
+
+    def rate_at(self, t: float) -> float:
+        start = self.spike_start_cycles
+        if start <= t < start + self.spike_cycles:
+            return self.rate * self.multiplier
+        return self.rate
+
+
+@dataclass(frozen=True)
+class RampArrivals(TimeVaryingArrivals):
+    """Linear ramp from ``start_rate`` to ``end_rate``, then hold.
+
+    Models a launch (ramp up) or a drain (ramp down): the rate moves
+    linearly over ``ramp_cycles`` and stays at ``end_rate`` after.
+    """
+
+    start_rate: float
+    end_rate: float
+    ramp_cycles: float
+
+    def __post_init__(self) -> None:
+        _check_rate(self.start_rate)
+        _check_rate(self.end_rate)
+        if self.ramp_cycles <= 0:
+            raise ValueError("ramp_cycles must be positive")
+
+    @property
+    def mean_rate(self) -> float:
+        return self.end_rate
+
+    @property
+    def peak_rate(self) -> float:
+        return max(self.start_rate, self.end_rate)
+
+    def rate_at(self, t: float) -> float:
+        if t >= self.ramp_cycles:
+            return self.end_rate
+        frac = t / self.ramp_cycles
+        return self.start_rate + (self.end_rate - self.start_rate) * frac
+
+
+@dataclass(frozen=True)
+class OnOffArrivals(TimeVaryingArrivals):
+    """Deterministic session gating: a tenant that joins and leaves.
+
+    The tenant is *active* (Poisson at ``rate``) for the first
+    ``duty`` fraction of every ``period_cycles`` window, shifted by
+    ``phase_cycles``, and silent otherwise.  Staggering phases across
+    tenants turns this into fleet-level churn: at any instant only a
+    subset of tenants offers load, and the subset rotates.
+
+    Unlike :class:`~repro.serve.arrivals.BurstyArrivals` the on/off
+    schedule is deterministic — churn scenarios need the join/leave
+    times to be part of the *scenario*, not the random draw, so two
+    designs see tenants come and go at identical times.
+    """
+
+    rate: float
+    duty: float = 0.6
+    period_cycles: float = 500_000.0
+    phase_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+        if not 0.0 < self.duty <= 1.0:
+            raise ValueError(f"duty must be in (0, 1], got {self.duty}")
+        if self.period_cycles <= 0:
+            raise ValueError("period_cycles must be positive")
+
+    @property
+    def mean_rate(self) -> float:
+        return self.rate * self.duty
+
+    @property
+    def peak_rate(self) -> float:
+        return self.rate
+
+    def rate_at(self, t: float) -> float:
+        position = (t + self.phase_cycles) % self.period_cycles
+        return self.rate if position < self.duty * self.period_cycles else 0.0

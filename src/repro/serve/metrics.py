@@ -76,10 +76,26 @@ class TenantStats:
     #: the accelerator actually sustained, independent of warm-up and
     #: horizon truncation.  ``None`` below two completions.
     steady_rate_per_cycle: Optional[float]
+    #: Requests destroyed by replica failures (in-flight work on a board
+    #: that died, queued requests under the ``lost`` failure policy, and
+    #: arrivals with no healthy replica to route to).  Always 0 for
+    #: single-device runs and fault-free fleets — drops are back-pressure,
+    #: losses are incidents, and the two are budgeted separately.
+    lost: int = 0
 
     @property
     def drop_rate(self) -> float:
         return self.drops / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of arrivals not served: queue drops plus fault losses.
+
+        This is the rate an SLO drop budget must cover — a client retries
+        a request lost to a dead board exactly like one shed by a full
+        queue, so :func:`repro.serve.slo.evaluate_slo` charges both
+        against ``max_drop_rate``."""
+        return (self.drops + self.lost) / self.arrivals if self.arrivals else 0.0
 
     def completed_rate_per_cycle(self, window_cycles: float) -> float:
         """Completions per cycle over an observation window.

@@ -132,6 +132,7 @@ class TenantState:
         self.queue: Deque[float] = deque()
         self.arrivals = 0
         self.drops = 0
+        self.lost = 0
         self.completions = 0
         self.pipeline = 0
         self.latencies: List[float] = []
@@ -168,6 +169,20 @@ class TenantState:
             self.queue.popleft()
             self.drops += 1
         self.queue.append(now)
+        self.peak_queue = max(self.peak_queue, len(self.queue))
+
+    def requeue(self, arrival: float, now: float) -> None:
+        """Re-admit a request evacuated from a failed replica's queue.
+
+        Not a new arrival — the request was already counted where it
+        first landed; it joins the tail here (a client retry would).  A
+        full queue sheds it as an ordinary drop on this replica.
+        """
+        self._touch(now)
+        if len(self.queue) >= self.queue_depth:
+            self.drops += 1
+            return
+        self.queue.append(arrival)
         self.peak_queue = max(self.peak_queue, len(self.queue))
 
     def admit(self, now: float) -> Optional[float]:
@@ -209,6 +224,7 @@ class TenantState:
             mean_queue_depth=self.mean_queue_depth(elapsed),
             peak_queue_depth=self.peak_queue,
             steady_rate_per_cycle=steady,
+            lost=self.lost,
         )
 
 

@@ -105,9 +105,13 @@ def evaluate_slo(result: ServeResult, slo: SLOSpec) -> SLOReport:
                 violations.append(
                     f"p99 {p99_ms:.2f}ms > {slo.p99_ms:.2f}ms"
                 )
-        if tenant.drop_rate > slo.max_drop_rate:
+        # The drop budget covers every unserved arrival: queue drops plus
+        # requests lost to replica failures (fault scenarios) — a client
+        # retries both the same way.  shed_rate == drop_rate when lost=0,
+        # so fault-free behaviour is unchanged.
+        if tenant.shed_rate > slo.max_drop_rate:
             violations.append(
-                f"drops {tenant.drop_rate:.1%} > {slo.max_drop_rate:.1%}"
+                f"drops {tenant.shed_rate:.1%} > {slo.max_drop_rate:.1%}"
             )
         if slo.min_throughput_rps is not None and saw_traffic:
             if throughput < slo.min_throughput_rps:
@@ -120,7 +124,7 @@ def evaluate_slo(result: ServeResult, slo: SLOSpec) -> SLOReport:
                 name=tenant.name,
                 meets=not violations,
                 p99_ms=p99_ms,
-                drop_rate=tenant.drop_rate,
+                drop_rate=tenant.shed_rate,
                 throughput_rps=throughput,
                 violations=tuple(violations),
             )

@@ -1,0 +1,123 @@
+"""Tests for the benchmark-trajectory tracker (scripts/track_history.py).
+
+The tracker is the CI gate that turns BENCH_*.json artifacts into a
+committed time series and fails the build on a >20% throughput drop —
+so its comparison logic (same benchmark, same smoke/full mode, newest
+comparable predecessor) is pinned here with pure-function tests plus
+one end-to-end record/check run against a temp directory.
+"""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "scripts"))
+
+import track_history as th  # noqa: E402
+
+
+def _entry(commit, **benches):
+    return {
+        "commit": commit,
+        "entries": {
+            name: {"requests_per_s": float(rps), "smoke": smoke}
+            for name, (rps, smoke) in benches.items()
+        },
+    }
+
+
+class TestPureFunctions:
+    def test_load_missing_history_is_empty(self, tmp_path):
+        assert th.load_history(tmp_path / "nope.jsonl") == []
+
+    def test_history_round_trip(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        entries = [_entry("a", fleet=(1000, True)),
+                   _entry("b", fleet=(1100, True))]
+        path.write_text(
+            "".join(json.dumps(e, sort_keys=True) + "\n" for e in entries)
+        )
+        assert th.load_history(path) == entries
+
+    def test_append_does_not_mutate(self):
+        history = [_entry("a", fleet=(1000, True))]
+        grown = th.append_entry(history, "b", {"fleet": {
+            "requests_per_s": 900.0, "smoke": True}})
+        assert len(history) == 1 and len(grown) == 2
+        assert grown[-1]["commit"] == "b"
+
+    def test_collect_bench_skips_non_throughput_artifacts(self, tmp_path):
+        (tmp_path / "BENCH_fleet.json").write_text(json.dumps(
+            {"benchmark": "fleet", "smoke": True,
+             "requests_per_s": 50_000.0}))
+        (tmp_path / "BENCH_table1.json").write_text(json.dumps(
+            {"benchmark": "table1", "smoke": True, "bram_ratio": 0.8}))
+        benches = th.collect_bench(tmp_path)
+        assert list(benches) == ["fleet"]
+        assert benches["fleet"] == {"requests_per_s": 50_000.0,
+                                    "smoke": True}
+
+
+class TestRegressionCheck:
+    def test_large_drop_flags(self):
+        history = [_entry("a", fleet=(1000, True)),
+                   _entry("b", fleet=(700, True))]  # -30%
+        problems = th.check_regressions(history, threshold=0.2)
+        assert len(problems) == 1 and "fleet" in problems[0]
+
+    def test_small_drop_and_improvement_pass(self):
+        history = [_entry("a", fleet=(1000, True), serve=(500, True)),
+                   _entry("b", fleet=(900, True), serve=(800, True))]
+        assert th.check_regressions(history, threshold=0.2) == []
+
+    def test_smoke_never_compared_against_full(self):
+        # A laptop full run is 10x CI smoke; mode mismatch must not trip.
+        history = [_entry("a", fleet=(500_000, False)),
+                   _entry("b", fleet=(50_000, True))]
+        assert th.check_regressions(history) == []
+
+    def test_compares_against_newest_comparable(self):
+        # The full-mode point in between is skipped, not compared.
+        history = [_entry("a", fleet=(1000, True)),
+                   _entry("b", fleet=(900_000, False)),
+                   _entry("c", fleet=(700, True))]
+        problems = th.check_regressions(history, threshold=0.2)
+        assert len(problems) == 1
+
+    def test_first_appearance_never_flags(self):
+        history = [_entry("a", fleet=(1000, True)),
+                   _entry("b", fleet=(990, True), scenario=(10, True))]
+        assert th.check_regressions(history) == []
+
+    def test_empty_history_passes(self):
+        assert th.check_regressions([]) == []
+
+
+class TestMain:
+    def test_record_then_check_end_to_end(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        history = tmp_path / "history.jsonl"
+        (results / "BENCH_fleet.json").write_text(json.dumps(
+            {"benchmark": "fleet", "smoke": True,
+             "requests_per_s": 50_000.0}))
+        argv = ["--results-dir", str(results), "--history", str(history)]
+        assert th.main(["record", "--commit", "c1"] + argv) == 0
+        assert th.main(["check"] + argv) == 0
+
+        (results / "BENCH_fleet.json").write_text(json.dumps(
+            {"benchmark": "fleet", "smoke": True,
+             "requests_per_s": 10_000.0}))  # -80%
+        assert th.main(["record", "--commit", "c2"] + argv) == 0
+        assert th.main(["check"] + argv) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_record_with_no_artifacts_fails(self, tmp_path):
+        empty = tmp_path / "results"
+        empty.mkdir()
+        assert th.main([
+            "record", "--results-dir", str(empty),
+            "--history", str(tmp_path / "h.jsonl"),
+        ]) == 1
