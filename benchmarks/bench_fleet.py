@@ -21,9 +21,10 @@ tracks across commits.
 
 import time
 
-from conftest import bench_scale
+from conftest import SMOKE, bench_scale
 
 from repro.core.datatypes import FLOAT32
+from repro.core.serialize import fleet_result_to_dict
 from repro.fleet import DeviceSpec, plan_capacity, simulate_fleet
 from repro.fpga.parts import budget_for
 from repro.networks import alexnet
@@ -32,9 +33,12 @@ from repro.serve import ConstantRate, SLOSpec, TenantSpec, simulate_traffic
 
 EPOCHS = bench_scale(full=2_000, smoke=200)
 REPLICAS = 4
+# See bench_serve: the 10x fast-path promise is judged at full scale;
+# smoke runs are setup-dominated.
+SPEEDUP_FLOOR = 4.0 if SMOKE else 10.0
 
 
-def _run_once(device):
+def _run_once(device, balancer="power-of-two", engine="event"):
     epoch = device.resolve_epoch()
     # 2x aggregate capacity keeps every replica's queue full.
     process = ConstantRate(2.0 * REPLICAS / epoch)
@@ -42,9 +46,10 @@ def _run_once(device):
         device.replicated(REPLICAS),
         [TenantSpec("AlexNet", process)],
         duration_cycles=EPOCHS * epoch,
-        balancer="power-of-two",
+        balancer=balancer,
         queue_depth=10 * EPOCHS * REPLICAS,
         drain=True,
+        engine=engine,
     )
 
 
@@ -121,4 +126,69 @@ def test_fleet_engine_speed(benchmark, record_artifact, record_bench_json):
     )
     assert requests_per_s > 10_000, (
         f"fleet engine too slow: {requests_per_s:,.0f} simulated req/s"
+    )
+
+
+def test_fleet_fast_engine_speed(record_artifact, record_bench_json):
+    """The fleet fast path: bit-exact and an order faster.
+
+    Round-robin is the fastest *eligible* policy (power-of-two on >1
+    replica is load-dependent and silently runs the event engine, which
+    would make this benchmark measure nothing).  Both engines replay
+    the identical saturated 4-replica workload; the fast run must
+    reproduce the FleetResult exactly and beat the event engine by the
+    mode's speedup floor.  Fast time is the best of three runs.
+    """
+    design = optimize_multi_clp(alexnet(), budget_for("485t"), FLOAT32)
+    device = DeviceSpec(design, part="485t")
+
+    started = time.perf_counter()
+    event_result = _run_once(device, balancer="round-robin", engine="event")
+    event_elapsed = time.perf_counter() - started
+
+    fast_elapsed = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        fast_result = _run_once(
+            device, balancer="round-robin", engine="fast"
+        )
+        fast_elapsed = min(fast_elapsed, time.perf_counter() - started)
+
+    assert fleet_result_to_dict(fast_result) == fleet_result_to_dict(
+        event_result
+    ), "fleet fast engine diverged from the event engine"
+
+    tenant = fast_result.tenants[0]
+    speedup = event_elapsed / fast_elapsed
+    requests_per_s = tenant.arrivals / fast_elapsed
+    artifact = "\n".join(
+        [
+            f"fleet fast-path speed ({REPLICAS}x AlexNet 485T, "
+            "round-robin, saturated)",
+            f"  simulated epochs:    {EPOCHS}",
+            f"  simulated requests:  {tenant.arrivals}",
+            f"  event wall-clock:    {event_elapsed:.3f} s",
+            f"  fast wall-clock:     {fast_elapsed:.4f} s",
+            f"  fast req/s:          {requests_per_s:,.0f}",
+            f"  speedup vs event:    {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)",
+            "  results bit-exact:   yes",
+        ]
+    )
+    record_artifact("bench_fleet_fast", artifact)
+    record_bench_json(
+        "fleet_fast",
+        {
+            "replicas": REPLICAS,
+            "simulated_epochs": EPOCHS,
+            "simulated_requests": tenant.arrivals,
+            "wall_time_s": fast_elapsed,
+            "event_wall_time_s": event_elapsed,
+            "requests_per_s": requests_per_s,
+            "speedup_vs_event": speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fleet fast path only {speedup:.1f}x over the event engine "
+        f"(floor {SPEEDUP_FLOOR:.0f}x)"
     )

@@ -17,18 +17,23 @@ tracks across commits.
 
 import time
 
-from conftest import bench_scale
+from conftest import SMOKE, bench_scale
 
 from repro.core.datatypes import FLOAT32
+from repro.core.serialize import serve_result_to_dict
 from repro.fpga.parts import budget_for
 from repro.networks import alexnet
 from repro.opt import optimize_multi_clp
 from repro.serve import ConstantRate, TenantSpec, simulate_traffic
 
 EPOCHS = bench_scale(full=2_000, smoke=200)
+# The fast engine's advantage is overhead-bound at smoke scale (a few
+# hundred arrivals barely amortize the numpy setup); the 10x promise is
+# judged at full scale.
+SPEEDUP_FLOOR = 4.0 if SMOKE else 10.0
 
 
-def _run_once(design):
+def _run_once(design, engine="event"):
     epoch = design.epoch_cycles
     # 2x capacity keeps the queue full: one admission every epoch.
     process = ConstantRate(2.0 / epoch)
@@ -38,6 +43,7 @@ def _run_once(design):
         duration_cycles=EPOCHS * epoch,
         queue_depth=10 * EPOCHS,
         drain=True,
+        engine=engine,
     )
 
 
@@ -76,4 +82,64 @@ def test_serve_engine_speed(benchmark, record_artifact, record_bench_json):
     )
     assert requests_per_s > 10_000, (
         f"serve engine too slow: {requests_per_s:,.0f} simulated req/s"
+    )
+
+
+def test_serve_fast_engine_speed(record_artifact, record_bench_json):
+    """The epoch-batched fast path: bit-exact and an order faster.
+
+    Both engines replay the identical saturated workload; the fast run
+    must reproduce the event engine's ServeResult exactly (the whole
+    reason it may be the default) and beat it by the mode's speedup
+    floor.  The fast time is the best of three runs: the engine's cost
+    is setup-dominated at smoke scale and a cold numpy import tax would
+    otherwise masquerade as engine time.
+    """
+    design = optimize_multi_clp(alexnet(), budget_for("485t"), FLOAT32)
+
+    started = time.perf_counter()
+    event_result = _run_once(design, engine="event")
+    event_elapsed = time.perf_counter() - started
+
+    fast_elapsed = float("inf")
+    for _ in range(3):
+        started = time.perf_counter()
+        fast_result = _run_once(design, engine="fast")
+        fast_elapsed = min(fast_elapsed, time.perf_counter() - started)
+
+    assert serve_result_to_dict(fast_result) == serve_result_to_dict(
+        event_result
+    ), "fast engine diverged from the event engine"
+
+    tenant = fast_result.tenants[0]
+    speedup = event_elapsed / fast_elapsed
+    requests_per_s = tenant.arrivals / fast_elapsed
+    artifact = "\n".join(
+        [
+            "serve fast-path speed (AlexNet 485T float32, saturated)",
+            f"  simulated epochs:    {EPOCHS}",
+            f"  simulated requests:  {tenant.arrivals}",
+            f"  event wall-clock:    {event_elapsed:.3f} s",
+            f"  fast wall-clock:     {fast_elapsed:.4f} s",
+            f"  fast req/s:          {requests_per_s:,.0f}",
+            f"  speedup vs event:    {speedup:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)",
+            "  results bit-exact:   yes",
+        ]
+    )
+    record_artifact("bench_serve_fast", artifact)
+    record_bench_json(
+        "serve_fast",
+        {
+            "simulated_epochs": EPOCHS,
+            "simulated_requests": tenant.arrivals,
+            "wall_time_s": fast_elapsed,
+            "event_wall_time_s": event_elapsed,
+            "requests_per_s": requests_per_s,
+            "speedup_vs_event": speedup,
+            "speedup_floor": SPEEDUP_FLOOR,
+        },
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"fast serve path only {speedup:.1f}x over the event engine "
+        f"(floor {SPEEDUP_FLOOR:.0f}x)"
     )

@@ -55,10 +55,18 @@ def collect_bench(results_dir: pathlib.Path) -> Dict[str, dict]:
         rps = record.get("requests_per_s")
         if rps is None:
             continue
-        benches[record["benchmark"]] = {
+        bench = {
             "requests_per_s": float(rps),
             "smoke": bool(record.get("smoke", False)),
         }
+        # Fast-engine benchmarks also pin their speedup over the event
+        # engine and the floor that speedup was judged against (mode-
+        # dependent: smoke runs are setup-dominated).  Recording both
+        # lets ``check`` re-assert the contract from history alone.
+        if record.get("speedup_vs_event") is not None:
+            bench["speedup_vs_event"] = float(record["speedup_vs_event"])
+            bench["speedup_floor"] = float(record.get("speedup_floor", 0.0))
+        benches[record["benchmark"]] = bench
     return benches
 
 
@@ -98,6 +106,19 @@ def check_regressions(
             problems.append(
                 f"{name}: {now:,.0f} req/s is {drop:.1%} below the "
                 f"previous {before:,.0f} (threshold {threshold:.0%})"
+            )
+    # Fast-engine modes carry an absolute contract on top of the
+    # relative trajectory: the recorded speedup over the event engine
+    # must not fall under the floor it was benchmarked against.  (The
+    # benchmark asserts this too, but the history check catches a floor
+    # quietly lowered or a stale entry recorded from a failing run.)
+    for name, bench in sorted(latest.get("entries", {}).items()):
+        speedup = bench.get("speedup_vs_event")
+        floor = bench.get("speedup_floor", 0.0)
+        if speedup is not None and speedup < floor:
+            problems.append(
+                f"{name}: fast-path speedup {speedup:.1f}x is below its "
+                f"{floor:.0f}x floor"
             )
     return problems
 

@@ -131,6 +131,10 @@ def build_parser() -> argparse.ArgumentParser:
                        "cycle-level system simulator")
     serve.add_argument("--drain", action="store_true",
                        help="stop arrivals at the horizon but serve out the queues")
+    serve.add_argument("--engine", default="auto",
+                       choices=["auto", "fast", "event"],
+                       help="epoch-batched fast path or reference event loop "
+                       "(bit-identical results; auto picks fast)")
     serve.add_argument("--load", metavar="FILE", default=None,
                        help="serve a saved design JSON instead of optimizing")
     serve.add_argument("--save", metavar="FILE", default=None,
@@ -172,6 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scenario", default=None, metavar="NAME",
                        help="failure/surge drill from the scenario library "
                        "(see `repro scenario list`)")
+        p.add_argument("--engine", default="auto",
+                       choices=["auto", "fast", "event"],
+                       help="epoch-batched fast path or reference event loop "
+                       "(bit-identical results; auto picks fast for "
+                       "scenario-free runs)")
 
     fsim = fleet_sub.add_parser(
         "simulate", help="simulate traffic over a replicated fleet"
@@ -616,6 +625,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             bytes_per_cycle=budget.bytes_per_cycle(),
             calibrate=args.calibrate,
             drain=args.drain,
+            engine=args.engine,
         )
     except (ValueError, OptimizationError) as exc:
         raise SystemExit(f"repro serve: error: {exc}") from None
@@ -673,6 +683,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                 policy=args.policy,
                 drain=args.drain,
                 scenario=args.scenario,
+                engine=args.engine,
             )
             lines = [result.format()]
             if args.save:
@@ -701,6 +712,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                 frequency_mhz=args.frequency_mhz,
                 scenario=args.scenario,
                 redundancy=args.redundancy,
+                engine=args.engine,
             )
             lines = [plan.format()]
             if plan.meets and plan.result is not None:
@@ -730,6 +742,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             drop_policy=args.policy,
             frequency_mhz=args.frequency_mhz,
             scenario=args.scenario,
+            engine=args.engine,
         )
         return trace.format()
     except (ValueError, OptimizationError) as exc:

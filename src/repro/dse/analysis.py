@@ -279,7 +279,7 @@ def traffic_rank_table(
                 entry.serve.num_clps,
                 f"{entry.report.total_goodput_rps:.1f}",
                 "-" if p99 is None else f"{p99:.2f}",
-                f"{entry.report.worst_drop_rate:.1%}",
+                f"{entry.report.worst_shed_rate:.1%}",
                 "yes" if entry.report.meets else "NO",
             )
         )
@@ -292,7 +292,7 @@ def traffic_rank_table(
     return render_table(
         (
             "#", "network", "budget", "dtype", "mode", "CLPs",
-            "goodput r/s", "p99 ms", "drop", "meets SLO",
+            "goodput r/s", "p99 ms", "shed", "meets SLO",
         ),
         rows,
         title=(
@@ -598,7 +598,7 @@ def resilience_rank_table(
                 availability,
                 "-" if p99 is None else f"{p99:.2f}",
                 entry.fleet.total_lost,
-                f"{entry.report.worst_drop_rate:.1%}",
+                f"{entry.report.worst_shed_rate:.1%}",
                 "yes" if entry.report.meets else "NO",
             )
         )

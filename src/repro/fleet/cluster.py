@@ -223,6 +223,7 @@ class ClusterSimulator:
         seed: int = 0,
         drain: bool = False,
         scenario: Union[str, ScenarioSpec, None] = None,
+        engine: str = "auto",
     ) -> FleetResult:
         """One seeded traffic window over the whole fleet.
 
@@ -232,6 +233,16 @@ class ClusterSimulator:
         the horizon but serves out every queue, so arrivals equal
         completions plus drops exactly.  Identical arguments produce an
         identical :class:`~repro.fleet.metrics.FleetResult`.
+
+        ``engine`` selects the execution strategy: ``"auto"`` (default)
+        uses the epoch-batched fast path (:mod:`repro.sim.fastpath`)
+        for scenario-free runs and the event engine otherwise;
+        ``"fast"``/``"event"`` force a choice (``"fast"`` with a
+        scenario raises).  Both engines produce bit-identical results;
+        routing policies whose choices depend on the global event
+        interleaving (least-outstanding, power-of-two, random across
+        multiple replicas) are executed on the event engine regardless,
+        since their behaviour *is* that interleaving.
 
         ``scenario`` (a name from :data:`repro.scenario.SCENARIOS` or a
         :class:`~repro.scenario.ScenarioSpec`) overlays a failure/surge
@@ -245,13 +256,18 @@ class ClusterSimulator:
         apart from the result's ``scenario`` label.
         """
         from ..sim.engine import Simulator
+        from ..sim.fastpath import (
+            fleet_fast_supported,
+            resolve_engine,
+            run_fleet_fast,
+        )
 
         if duration_cycles <= 0:
             raise ValueError("duration_cycles must be positive")
         if isinstance(scenario, str):
             scenario = get_scenario(scenario)
+        concrete = resolve_engine(engine, has_scenario=scenario is not None)
 
-        sim = Simulator()
         replicas: List[Replica] = []
         for device in self.devices:
             for _ in range(device.count):
@@ -276,6 +292,18 @@ class ClusterSimulator:
         balancer.bind(replicas, random.Random(f"{seed}/balancer"))
 
         horizon = float(duration_cycles)
+
+        if concrete == "fast" and fleet_fast_supported(balancer, eligible):
+            elapsed = run_fleet_fast(
+                replicas, self.tenants, eligible, balancer,
+                horizon, seed, drain,
+            )
+            return self._finalize(
+                balancer, replicas, horizon, elapsed, seed, drain,
+                None, [], {spec.name: 0 for spec in self.tenants}, [],
+            )
+
+        sim = Simulator()
         #: One open/closed flag per tenant *stream* (shared by replicas).
         stream_open = [True] * len(self.tenants)
 
@@ -361,6 +389,13 @@ class ClusterSimulator:
             # turns its already-scheduled completion events into no-ops.
             replica.generation += 1
             for state in replica.states.values():
+                # Refund the admission-time CLP charge of the destroyed
+                # in-flight images: the cycles were booked when each image
+                # entered the pipeline, but the board never finishes them,
+                # so leaving the charge overstates CLP utilization for the
+                # exact windows (incidents) where the number matters.
+                for clp_index, cycles in enumerate(state.clp_cycles):
+                    replica.clp_busy[clp_index] -= state.pipeline * cycles
                 state.lost += state.pipeline
                 state.pipeline = 0
                 evacuated = list(state.queue)
@@ -413,7 +448,7 @@ class ClusterSimulator:
         def make_boundary(replica: Replica):
             epoch = replica.epoch
 
-            def boundary() -> None:
+            def boundary(count: int = 0) -> None:
                 if replica.healthy:
                     for state in replica.states.values():
                         arrival = state.admit(sim.now)
@@ -427,7 +462,9 @@ class ClusterSimulator:
                                 replica, state, arrival, gen
                             ),
                         )
-                upcoming = sim.now + epoch
+                # Exact grid ``count * epoch`` — see the single-device
+                # boundary chain; chained ``now + epoch`` sums drift.
+                upcoming = (count + 1) * epoch
                 pending = any(
                     state.queue for state in replica.states.values()
                 ) or any(
@@ -436,7 +473,7 @@ class ClusterSimulator:
                     if replica.serves(spec.name)
                 )
                 if upcoming <= horizon or (drain and pending):
-                    sim.schedule(epoch, boundary)
+                    sim.schedule_at(upcoming, lambda: boundary(count + 1))
 
             return boundary
 
@@ -449,6 +486,25 @@ class ClusterSimulator:
             sim.run(until=horizon)
             elapsed = horizon
 
+        return self._finalize(
+            balancer, replicas, horizon, elapsed, seed, drain,
+            scenario, outages, unroutable, samples,
+        )
+
+    def _finalize(
+        self,
+        balancer: Balancer,
+        replicas: List[Replica],
+        horizon: float,
+        elapsed: float,
+        seed: int,
+        drain: bool,
+        scenario: Optional[ScenarioSpec],
+        outages: List[Outage],
+        unroutable: Dict[str, int],
+        samples: List[Tuple[float, float]],
+    ) -> FleetResult:
+        """Reduce final replica state to a :class:`FleetResult` (engine-shared)."""
         aggregates = tuple(
             _aggregate_tenant(
                 spec,
@@ -528,6 +584,7 @@ def simulate_fleet(
     policy: str = "drop-tail",
     drain: bool = False,
     scenario: Union[str, ScenarioSpec, None] = None,
+    engine: str = "auto",
 ) -> FleetResult:
     """One-shot convenience wrapper around :class:`ClusterSimulator`."""
     cluster = ClusterSimulator(
@@ -538,4 +595,6 @@ def simulate_fleet(
         queue_depth=queue_depth,
         policy=policy,
     )
-    return cluster.run(duration_cycles, seed=seed, drain=drain, scenario=scenario)
+    return cluster.run(
+        duration_cycles, seed=seed, drain=drain, scenario=scenario, engine=engine
+    )

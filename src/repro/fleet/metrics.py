@@ -165,6 +165,12 @@ class FleetResult:
     def format(self) -> str:
         from ..analysis.report import render_table
 
+        # The unserved column must show what the SLO layer charges: the
+        # *shed* rate (queue drops plus fault losses).  Printing bare
+        # ``drop_rate`` let a rack-loss drill report 0.0% while the fleet
+        # was losing traffic to dead boards.  A separate ``lost`` column
+        # appears whenever failures actually destroyed requests.
+        show_lost = self.total_lost > 0
         tenant_rows = []
         for t in self.tenants:
             if t.latency is None:
@@ -173,24 +179,28 @@ class FleetResult:
                 p50 = f"{self.cycles_to_ms(t.latency.p50):.2f}"
                 p95 = f"{self.cycles_to_ms(t.latency.p95):.2f}"
                 p99 = f"{self.cycles_to_ms(t.latency.p99):.2f}"
-            tenant_rows.append(
-                (
-                    t.name,
-                    f"{self.rate_to_rps(t.offered_rate_per_cycle):.0f}",
-                    t.arrivals,
-                    t.completions,
-                    f"{self.rate_to_rps(t.completed_rate_per_cycle(self.horizon_cycles)):.1f}",
-                    p50,
-                    p95,
-                    p99,
-                    f"{t.drop_rate:.1%}",
-                )
-            )
+            row = [
+                t.name,
+                f"{self.rate_to_rps(t.offered_rate_per_cycle):.0f}",
+                t.arrivals,
+                t.completions,
+                f"{self.rate_to_rps(t.completed_rate_per_cycle(self.horizon_cycles)):.1f}",
+                p50,
+                p95,
+                p99,
+                f"{t.shed_rate:.1%}",
+            ]
+            if show_lost:
+                row.append(t.lost)
+            tenant_rows.append(tuple(row))
+        headers = [
+            "tenant", "offered r/s", "arrivals", "done", "goodput r/s",
+            "p50 ms", "p95 ms", "p99 ms", "shed",
+        ]
+        if show_lost:
+            headers.append("lost")
         tenant_table = render_table(
-            (
-                "tenant", "offered r/s", "arrivals", "done", "goodput r/s",
-                "p50 ms", "p95 ms", "p99 ms", "drop",
-            ),
+            tuple(headers),
             tenant_rows,
             title=(
                 f"fleet of {self.num_replicas} replicas, "

@@ -140,6 +140,7 @@ def plan_capacity(
     frequency_mhz: float = 100.0,
     scenario: Union[str, ScenarioSpec, None] = None,
     redundancy: int = 0,
+    engine: str = "auto",
 ) -> CapacityPlan:
     """Minimum replicas of ``device`` meeting ``slo`` at ``rate_rps``.
 
@@ -216,7 +217,11 @@ def plan_capacity(
                 policy=policy,
             )
             result = cluster.run(
-                duration_cycles, seed=seed, drain=True, scenario=scenario
+                duration_cycles,
+                seed=seed,
+                drain=True,
+                scenario=scenario,
+                engine=engine,
             )
             evaluations[count] = (result, evaluate_slo(result, slo))
         return evaluations[count]
@@ -245,7 +250,7 @@ def plan_capacity(
             replicas=n,
             meets=report.meets,
             p99_ms=report.worst_p99_ms,
-            drop_rate=report.worst_drop_rate,
+            drop_rate=report.worst_shed_rate,
             goodput_rps=report.total_goodput_rps,
         )
         for n, (result, report) in sorted(evaluations.items())
@@ -427,6 +432,7 @@ def autoscale(
     drop_policy: str = "drop-tail",
     frequency_mhz: float = 100.0,
     scenario: Union[str, ScenarioSpec, None] = None,
+    engine: str = "auto",
 ) -> AutoscaleTrace:
     """Step a reactive autoscaler across per-window offered rates.
 
@@ -473,7 +479,11 @@ def autoscale(
             policy=drop_policy,
         )
         result = cluster.run(
-            duration_cycles, seed=seed + index, drain=True, scenario=scenario
+            duration_cycles,
+            seed=seed + index,
+            drain=True,
+            scenario=scenario,
+            engine=engine,
         )
         action = policy.decide(result)
         windows.append(

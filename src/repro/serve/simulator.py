@@ -256,6 +256,7 @@ def simulate_traffic(
     bytes_per_cycle: Optional[float] = None,
     calibrate: str = "model",
     drain: bool = False,
+    engine: str = "auto",
 ) -> ServeResult:
     """Drive ``design`` with seeded request streams and measure serving.
 
@@ -266,10 +267,17 @@ def simulate_traffic(
     until every admitted request completes, so
     ``arrivals == completions + drops`` exactly.
 
+    ``engine`` selects the execution strategy, not the semantics:
+    ``"event"`` runs the reference discrete-event loop, ``"fast"`` the
+    epoch-batched solver (:mod:`repro.sim.fastpath`), and ``"auto"``
+    (the default) picks fast — both produce the same result bit for
+    bit, which the differential test suite pins.
+
     Determinism: identical arguments (including ``seed``) produce an
     identical :class:`~repro.serve.metrics.ServeResult`, bit for bit.
     """
     from ..sim.engine import Simulator
+    from ..sim.fastpath import resolve_engine, run_serve_fast
 
     if duration_cycles <= 0:
         raise ValueError("duration_cycles must be positive")
@@ -287,7 +295,6 @@ def simulate_traffic(
         )
 
     epoch = resolve_epoch(base, bytes_per_cycle, calibrate)
-    sim = Simulator()
     states: List[TenantState] = []
     for spec in tenants:
         depth, clp_cycles = plans[spec.name]
@@ -297,6 +304,15 @@ def simulate_traffic(
 
     clp_busy = [0.0] * base.num_clps
     horizon = float(duration_cycles)
+
+    if resolve_engine(engine) == "fast":
+        elapsed = run_serve_fast(states, clp_busy, epoch, horizon, seed, drain)
+        return _assemble_result(
+            design, base, states, clp_busy, epoch, horizon, elapsed,
+            frequency_mhz, seed, queue_depth, policy, drain,
+        )
+
+    sim = Simulator()
 
     # Arrivals: one self-rescheduling event chain per tenant, each with
     # a private RNG keyed by (seed, tenant index, tenant name).
@@ -332,7 +348,7 @@ def simulate_traffic(
     def complete(state: TenantState, arrival: float) -> None:
         state.on_completion(arrival, sim.now)
 
-    def boundary() -> None:
+    def boundary(index: int = 0) -> None:
         for state in states:
             arrival = state.admit(sim.now)
             if arrival is None:
@@ -343,10 +359,13 @@ def simulate_traffic(
                 state.depth_epochs * epoch,
                 lambda state=state, arrival=arrival: complete(state, arrival),
             )
-        upcoming = sim.now + epoch
+        # Boundaries live on the exact grid ``index * epoch``: chaining
+        # ``now + epoch`` instead would accumulate float error over long
+        # horizons and drift from the fast engine's batched grid.
+        upcoming = (index + 1) * epoch
         pending = any(s.queue or s.stream_open for s in states)
         if upcoming <= horizon or (drain and pending):
-            sim.schedule(epoch, boundary)
+            sim.schedule_at(upcoming, lambda: boundary(index + 1))
 
     boundary()  # first dispatch at cycle 0
 
@@ -357,6 +376,27 @@ def simulate_traffic(
         sim.run(until=horizon)
         elapsed = horizon
 
+    return _assemble_result(
+        design, base, states, clp_busy, epoch, horizon, elapsed,
+        frequency_mhz, seed, queue_depth, policy, drain,
+    )
+
+
+def _assemble_result(
+    design: Union[MultiCLPDesign, JointDesign],
+    base: MultiCLPDesign,
+    states: Sequence[TenantState],
+    clp_busy: Sequence[float],
+    epoch: float,
+    horizon: float,
+    elapsed: float,
+    frequency_mhz: float,
+    seed: int,
+    queue_depth: int,
+    policy: str,
+    drain: bool,
+) -> ServeResult:
+    """Reduce final run state to a :class:`ServeResult` (engine-shared)."""
     fractions = tuple(
         min(1.0, busy / elapsed) if elapsed > 0 else 0.0 for busy in clp_busy
     )

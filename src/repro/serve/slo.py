@@ -40,7 +40,14 @@ class SLOSpec:
 
 @dataclass(frozen=True)
 class TenantVerdict:
-    """One tenant's measurements against each SLO clause."""
+    """One tenant's measurements against each SLO clause.
+
+    ``drop_rate`` holds the tenant's **shed** rate — queue drops *plus*
+    requests lost to replica failures — because that is what the drop
+    budget is charged against (see :func:`evaluate_slo`).  The
+    :attr:`shed_rate` alias names it honestly; the original field name
+    is kept for stored-result compatibility.
+    """
 
     name: str
     meets: bool
@@ -48,6 +55,11 @@ class TenantVerdict:
     drop_rate: float
     throughput_rps: float
     violations: Tuple[str, ...]
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of arrivals not served (drops + fault losses)."""
+        return self.drop_rate
 
 
 @dataclass(frozen=True)
@@ -64,8 +76,20 @@ class SLOReport:
         return max(values) if values else None
 
     @property
-    def worst_drop_rate(self) -> float:
+    def worst_shed_rate(self) -> float:
+        """Highest per-tenant shed rate (queue drops plus fault losses)."""
         return max((t.drop_rate for t in self.tenants), default=0.0)
+
+    @property
+    def worst_drop_rate(self) -> float:
+        """Alias of :attr:`worst_shed_rate`.
+
+        Historically named after the field it reads, but the verdicts
+        carry shed rates — tables printing this under a "drop" header
+        were silently including fault losses.  Kept for compatibility;
+        new code should use :attr:`worst_shed_rate`.
+        """
+        return self.worst_shed_rate
 
     @property
     def total_goodput_rps(self) -> float:

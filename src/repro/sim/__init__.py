@@ -8,6 +8,7 @@ from .clp_sim import (
     tile_sequence,
 )
 from .engine import Simulator
+from .fastpath import ENGINES, resolve_engine
 from .functional import (
     TransferCounters,
     random_layer_data,
@@ -22,6 +23,8 @@ __all__ = [
     "random_layer_data",
     "TransferCounters",
     "Simulator",
+    "ENGINES",
+    "resolve_engine",
     "TileJob",
     "tile_sequence",
     "simulate_clp",

@@ -42,8 +42,19 @@ class Simulator:
         )
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute ``time``."""
-        self.schedule(time - self._now, callback)
+        """Run ``callback`` at absolute ``time`` (stored exactly).
+
+        The event fires at the float ``time`` given, not at
+        ``now + (time - now)`` — the round trip through a delay can lose
+        the last bit, which matters to callers that pin event times to an
+        arithmetic grid (``index * epoch`` boundary chains, materialized
+        arrival timestamps).
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule into the past (time={time}, now={self._now})"
+            )
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
 
     def run(self, until: Optional[float] = None) -> float:
         """Process events until the queue drains (or ``until`` passes).

@@ -94,6 +94,32 @@ class TestRegressionCheck:
     def test_empty_history_passes(self):
         assert th.check_regressions([]) == []
 
+    def test_fast_speedup_below_floor_flags(self):
+        entry = _entry("a", serve_fast=(2_000_000, True))
+        entry["entries"]["serve_fast"].update(
+            speedup_vs_event=3.2, speedup_floor=4.0)
+        problems = th.check_regressions([entry])
+        assert len(problems) == 1
+        assert "serve_fast" in problems[0] and "3.2x" in problems[0]
+
+    def test_fast_speedup_at_floor_passes(self):
+        entry = _entry("a", serve_fast=(2_000_000, True),
+                       fleet_fast=(400_000, True))
+        entry["entries"]["serve_fast"].update(
+            speedup_vs_event=17.5, speedup_floor=10.0)
+        entry["entries"]["fleet_fast"].update(
+            speedup_vs_event=4.0, speedup_floor=4.0)
+        assert th.check_regressions([entry]) == []
+
+    def test_collect_bench_carries_speedup(self, tmp_path):
+        (tmp_path / "BENCH_serve_fast.json").write_text(json.dumps(
+            {"benchmark": "serve_fast", "smoke": True,
+             "requests_per_s": 2_000_000.0,
+             "speedup_vs_event": 17.5, "speedup_floor": 4.0}))
+        benches = th.collect_bench(tmp_path)
+        assert benches["serve_fast"]["speedup_vs_event"] == 17.5
+        assert benches["serve_fast"]["speedup_floor"] == 4.0
+
 
 class TestMain:
     def test_record_then_check_end_to_end(self, tmp_path, capsys):
