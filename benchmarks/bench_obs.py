@@ -1,0 +1,114 @@
+"""Observability overhead: what telemetry + tracing cost the event loop.
+
+Observability is opt-in precisely because it is not free — the sampler
+rides the event heap and the tracer touches every request transition.
+This benchmark replays the saturated serve workload three ways (bare,
+telemetry-only, telemetry + trace) and bounds the slowdown, asserting
+along the way that the instrumented runs stay scalar-identical to the
+bare one (the bit-neutrality contract).
+
+Numbers land in ``BENCH_obs.json`` (overhead ratios, instrumented
+req/s) for the perf trajectory CI tracks across commits.
+"""
+
+import time
+
+from conftest import SMOKE, bench_scale
+
+from repro.core.datatypes import FLOAT32
+from repro.core.serialize import serve_result_to_dict
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet
+from repro.obs import ObsSpec, TraceRecorder
+from repro.opt import optimize_multi_clp
+from repro.serve import ConstantRate, TenantSpec, simulate_traffic
+
+EPOCHS = bench_scale(full=2_000, smoke=200)
+# Generous bound: sampling + tracing may not quadruple event-loop time.
+# Typical cost is well under 2x at full scale; smoke scale is
+# setup-dominated (the sampler schedule barely amortizes over a few
+# hundred arrivals), so it gets extra slack for noisy CI machines.
+OVERHEAD_CEILING = 6.0 if SMOKE else 4.0
+
+
+def _run_once(design, obs=None):
+    epoch = design.epoch_cycles
+    process = ConstantRate(2.0 / epoch)
+    return simulate_traffic(
+        design,
+        [TenantSpec("AlexNet", process)],
+        duration_cycles=EPOCHS * epoch,
+        queue_depth=10 * EPOCHS,
+        drain=True,
+        engine="event",
+        obs=obs,
+    )
+
+
+def _scalars(result):
+    record = serve_result_to_dict(result)
+    record.pop("timeseries", None)
+    return record
+
+
+def _best_of(runs, fn):
+    best, result = float("inf"), None
+    for _ in range(runs):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def test_obs_overhead(record_artifact, record_bench_json):
+    design = optimize_multi_clp(alexnet(), budget_for("485t"), FLOAT32)
+
+    bare_s, bare = _best_of(3, lambda: _run_once(design))
+    telem_s, telem = _best_of(
+        3, lambda: _run_once(design, obs=ObsSpec(timeseries=True))
+    )
+    full_s, full = _best_of(
+        3,
+        lambda: _run_once(
+            design, obs=ObsSpec(timeseries=True, trace=TraceRecorder())
+        ),
+    )
+
+    assert _scalars(telem) == _scalars(bare), "telemetry changed the run"
+    assert _scalars(full) == _scalars(bare), "tracing changed the run"
+    assert telem.timeseries is not None and len(telem.timeseries.times) > 0
+
+    telem_overhead = telem_s / bare_s
+    full_overhead = full_s / bare_s
+    tenant = full.tenants[0]
+    requests_per_s = tenant.arrivals / full_s
+    artifact = "\n".join(
+        [
+            "observability overhead (AlexNet 485T float32, saturated, event engine)",
+            f"  simulated epochs:       {EPOCHS}",
+            f"  simulated requests:     {tenant.arrivals}",
+            f"  bare wall-clock:        {bare_s:.3f} s",
+            f"  +telemetry:             {telem_s:.3f} s ({telem_overhead:.2f}x)",
+            f"  +telemetry+trace:       {full_s:.3f} s ({full_overhead:.2f}x)",
+            f"  instrumented req/s:     {requests_per_s:,.0f}",
+            f"  overhead ceiling:       {OVERHEAD_CEILING:.0f}x",
+            "  scalars bit-identical:  yes",
+        ]
+    )
+    record_artifact("bench_obs", artifact)
+    record_bench_json(
+        "obs",
+        {
+            "simulated_epochs": EPOCHS,
+            "simulated_requests": tenant.arrivals,
+            "wall_time_s": full_s,
+            "bare_wall_time_s": bare_s,
+            "telemetry_overhead_x": telem_overhead,
+            "full_overhead_x": full_overhead,
+            "requests_per_s": requests_per_s,
+        },
+    )
+    assert full_overhead < OVERHEAD_CEILING, (
+        f"observability costs {full_overhead:.2f}x "
+        f"(ceiling {OVERHEAD_CEILING:.0f}x)"
+    )

@@ -2,7 +2,18 @@
 
 from . import paper_data
 from .figures import Figure7Result, TradeoffCurve, figure6, figure7
-from .report import ascii_plot, format_ratio, render_table
+from .report import (
+    ascii_plot,
+    format_ratio,
+    format_sig,
+    load_run,
+    markdown_table,
+    render_report,
+    render_run_report,
+    render_store_report,
+    render_table,
+    sparkline,
+)
 from .roofline import RooflinePoint, roofline_point, roofline_table
 from .visualize import (
     compare_single_vs_multi,
@@ -41,7 +52,14 @@ __all__ = [
     "Figure7Result",
     "render_table",
     "format_ratio",
+    "format_sig",
     "ascii_plot",
+    "sparkline",
+    "markdown_table",
+    "load_run",
+    "render_run_report",
+    "render_store_report",
+    "render_report",
     "schedule_gantt",
     "utilization_bars",
     "partition_summary",

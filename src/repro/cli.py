@@ -15,6 +15,8 @@ Examples::
     python -m repro fleet simulate --network alexnet --replicas 4 --rate 20000
     python -m repro fleet plan --network alexnet --rate 30000 --p99-ms 60
     python -m repro dse cost --store dse_results.jsonl --rate 20000 --p99-ms 80
+    python -m repro serve --network alexnet --emit-timeseries --trace-out t.json
+    python -m repro report runs/fleet.json --out report.md
 """
 
 from __future__ import annotations
@@ -29,6 +31,27 @@ from .networks import available_networks, get_network
 from .opt import optimize_multi_clp, optimize_single_clp
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_args(p) -> None:
+    """Observability flags shared by ``serve`` and ``fleet simulate``.
+
+    All of them default off, leaving the run bit-identical to a plain
+    invocation; turning any on forces the reference event engine under
+    ``--engine auto`` (the fast path cannot observe per-event state).
+    """
+    p.add_argument("--emit-timeseries", action="store_true",
+                   help="sample windowed telemetry (queue depth, "
+                   "utilization, p99, drops, ...) onto the result")
+    p.add_argument("--timeseries-window-ms", type=float, default=None,
+                   metavar="MS",
+                   help="telemetry window width (implies --emit-timeseries; "
+                   "default: horizon split into 60 windows)")
+    p.add_argument("--trace-out", metavar="FILE", default=None,
+                   help="write the request-lifecycle trace: Chrome "
+                   "trace_event JSON, or JSONL if FILE ends in .jsonl")
+    p.add_argument("--report", metavar="FILE", default=None,
+                   help="render a one-page Markdown report of the run")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -139,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve a saved design JSON instead of optimizing")
     serve.add_argument("--save", metavar="FILE", default=None,
                        help="write the ServeResult to a JSON file")
+    _add_obs_args(serve)
 
     fleet = sub.add_parser(
         "fleet",
@@ -203,6 +227,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="stop arrivals at the horizon but serve out queues")
     fsim.add_argument("--save", metavar="FILE", default=None,
                       help="write the FleetResult to a JSON file")
+    fsim.add_argument("--json", action="store_true",
+                      help="emit the FleetResult record as JSON on stdout "
+                      "(timeseries included only with --emit-timeseries)")
+    _add_obs_args(fsim)
 
     fplan = fleet_sub.add_parser(
         "plan", help="minimum replicas meeting an SLO at a target rate"
@@ -240,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
     fauto.add_argument("--queue-low", type=float, default=1.0,
                        help="scale down when mean queue/replica is below this")
     fauto.add_argument("--initial-replicas", type=int, default=None)
+    fauto.add_argument("--trace-out", metavar="FILE", default=None,
+                       help="write the scaling decisions as a Chrome "
+                       "trace_event JSON (or JSONL if FILE ends in .jsonl)")
+    fauto.add_argument("--report", metavar="FILE", default=None,
+                       help="render a Markdown report of the autoscale trace")
 
     scen = sub.add_parser(
         "scenario",
@@ -256,6 +289,28 @@ def build_parser() -> argparse.ArgumentParser:
     sdesc.add_argument("name", metavar="NAME")
     sdesc.add_argument("--json", action="store_true",
                        help="emit the scenario spec as JSON")
+
+    rep = sub.add_parser(
+        "report",
+        help="render a Markdown report over saved runs",
+        description="One-page Markdown summary of saved run records: "
+        "run table, cross-run aggregates, SLO attainment, resilience, "
+        "time-series sparklines, and (with --bench-history) the "
+        "benchmark perf trajectory.",
+    )
+    rep.add_argument("path", metavar="PATH",
+                     help="a serve/fleet run JSON (from --save), a "
+                     "directory of them, or a DSE store .jsonl")
+    rep.add_argument("--out", metavar="FILE", default=None,
+                     help="write the report to FILE instead of stdout")
+    rep.add_argument("--p99-ms", type=float, default=None,
+                     help="score SLO attainment against this tail SLO")
+    rep.add_argument("--max-drop-rate", type=float, default=0.0)
+    rep.add_argument("--min-throughput", type=float, default=None,
+                     metavar="RPS")
+    rep.add_argument("--bench-history", metavar="FILE", default=None,
+                     help="BENCH history.jsonl for the perf-trajectory "
+                     "section")
 
     hls = sub.add_parser("hls", help="emit HLS C++ for an optimized design")
     hls.add_argument("--network", default="alexnet", choices=available_networks())
@@ -598,6 +653,41 @@ def _traffic_window_cycles(args: argparse.Namespace, design, budget) -> float:
     return duration_cycles
 
 
+def _obs_spec(args: argparse.Namespace, cycles_per_second: float):
+    """(ObsSpec, TraceRecorder) from the shared obs flags, or (None, None)."""
+    want_timeseries = (
+        args.emit_timeseries or args.timeseries_window_ms is not None
+    )
+    if not want_timeseries and args.trace_out is None:
+        return None, None
+    from .obs import ObsSpec, TraceRecorder
+
+    trace = TraceRecorder() if args.trace_out else None
+    window_cycles = (
+        args.timeseries_window_ms * 1e-3 * cycles_per_second
+        if args.timeseries_window_ms is not None
+        else None
+    )
+    spec = ObsSpec(
+        timeseries=want_timeseries, window_cycles=window_cycles, trace=trace
+    )
+    return spec, trace
+
+
+def _write_trace(trace, path: str, frequency_mhz: float) -> None:
+    if path.endswith(".jsonl"):
+        trace.write_jsonl(path, frequency_mhz=frequency_mhz)
+    else:
+        trace.write_chrome(path, frequency_mhz=frequency_mhz)
+
+
+def _write_run_report(result, source: str, path: str) -> None:
+    from .analysis.report import render_run_report
+
+    with open(path, "w") as handle:
+        handle.write(render_run_report([result], [source]))
+
+
 def _cmd_serve(args: argparse.Namespace) -> str:
     from .serve import simulate_traffic
 
@@ -614,6 +704,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
         design, tenant_names = _serving_design(args, names, budget, dtype)
         tenants = _tenant_specs(args, tenant_names, budget.cycles_per_second)
         duration_cycles = _traffic_window_cycles(args, design, budget)
+        obs, trace = _obs_spec(args, budget.cycles_per_second)
         result = simulate_traffic(
             design,
             tenants,
@@ -626,6 +717,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             calibrate=args.calibrate,
             drain=args.drain,
             engine=args.engine,
+            obs=obs,
         )
     except (ValueError, OptimizationError) as exc:
         raise SystemExit(f"repro serve: error: {exc}") from None
@@ -635,6 +727,12 @@ def _cmd_serve(args: argparse.Namespace) -> str:
 
         dump_serve_result(result, args.save)
         lines.append(f"serve result written to {args.save}")
+    if trace is not None:
+        _write_trace(trace, args.trace_out, args.frequency_mhz)
+        lines.append(f"trace written to {args.trace_out}")
+    if args.report:
+        _write_run_report(result, f"serve:{result.design_label}", args.report)
+        lines.append(f"report written to {args.report}")
     return "\n".join(lines)
 
 
@@ -672,6 +770,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                 args, tenant_names, budget.cycles_per_second
             )
             duration_cycles = _traffic_window_cycles(args, design, budget)
+            obs, trace = _obs_spec(args, budget.cycles_per_second)
             result = simulate_fleet(
                 device.replicated(args.replicas),
                 tenants,
@@ -684,13 +783,35 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                 drain=args.drain,
                 scenario=args.scenario,
                 engine=args.engine,
+                obs=obs,
             )
-            lines = [result.format()]
             if args.save:
                 from .core.serialize import dump_fleet_result
 
                 dump_fleet_result(result, args.save)
+            if trace is not None:
+                _write_trace(trace, args.trace_out, args.frequency_mhz)
+            if args.report:
+                _write_run_report(
+                    result,
+                    f"fleet:{args.balancer}x{args.replicas}",
+                    args.report,
+                )
+            if args.json:
+                # Pure JSON on stdout; --save/--trace-out/--report still
+                # write their files, silently.
+                import json as _json
+
+                from .core.serialize import fleet_result_to_dict
+
+                return _json.dumps(fleet_result_to_dict(result), indent=2)
+            lines = [result.format()]
+            if args.save:
                 lines.append(f"fleet result written to {args.save}")
+            if trace is not None:
+                lines.append(f"trace written to {args.trace_out}")
+            if args.report:
+                lines.append(f"report written to {args.report}")
             return "\n".join(lines)
 
         if args.fleet_command == "plan":
@@ -730,6 +851,11 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             p99_low_ms=args.p99_low_ms,
             queue_low=args.queue_low,
         )
+        recorder = None
+        if args.trace_out:
+            from .obs import TraceRecorder
+
+            recorder = TraceRecorder()
         trace = autoscale(
             device,
             args.rates,
@@ -743,12 +869,80 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             frequency_mhz=args.frequency_mhz,
             scenario=args.scenario,
             engine=args.engine,
+            trace=recorder,
         )
-        return trace.format()
+        lines = [trace.format()]
+        if recorder is not None:
+            _write_trace(recorder, args.trace_out, args.frequency_mhz)
+            lines.append(f"trace written to {args.trace_out}")
+        if args.report:
+            with open(args.report, "w") as handle:
+                handle.write(_autoscale_report(trace))
+            lines.append(f"report written to {args.report}")
+        return "\n".join(lines)
     except (ValueError, OptimizationError) as exc:
         raise SystemExit(
             f"repro fleet {args.fleet_command}: error: {exc}"
         ) from None
+
+
+def _autoscale_report(trace) -> str:
+    """Markdown view of an autoscale trace: text summary + sparklines."""
+    from .analysis.report import format_sig, sparkline
+
+    timeseries = trace.to_timeseries()
+    lines = [
+        "# Autoscale report",
+        "",
+        "```text",
+        trace.format(),
+        "```",
+        "",
+        "## Window series",
+        "",
+        "```text",
+    ]
+    width = max(len(name) for name in timeseries.names())
+    for name in timeseries.names():
+        values = list(timeseries.get(name))
+        present = [v for v in values if v is not None]
+        if not present:
+            stats = "(no samples)"
+        elif min(present) == max(present):
+            stats = f"= {format_sig(min(present))} (constant)"
+        else:
+            stats = f"{format_sig(min(present))} .. {format_sig(max(present))}"
+        lines.append(f"{name.ljust(width)}  {sparkline(values)}  {stats}")
+    lines += ["```", ""]
+    return "\n".join(lines)
+
+
+def _cmd_report(args: argparse.Namespace) -> str:
+    from .analysis.report import render_report
+    from .serve import SLOSpec
+
+    slo = None
+    if (
+        args.p99_ms is not None
+        or args.max_drop_rate
+        or args.min_throughput is not None
+    ):
+        slo = SLOSpec(
+            p99_ms=args.p99_ms,
+            max_drop_rate=args.max_drop_rate,
+            min_throughput_rps=args.min_throughput,
+        )
+    try:
+        text = render_report(
+            args.path, slo=slo, history_path=args.bench_history
+        )
+    except (ValueError, OSError, KeyError) as exc:
+        raise SystemExit(f"repro report: error: {exc}") from None
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        return f"report written to {args.out}"
+    return text
 
 
 def _cmd_scenario(args: argparse.Namespace) -> str:
@@ -948,6 +1142,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _cmd_serve(args)
     elif command == "scenario":
         output = _cmd_scenario(args)
+    elif command == "report":
+        output = _cmd_report(args)
     elif command == "fleet":
         output = _cmd_fleet(args)
     elif command == "hls":

@@ -38,6 +38,8 @@ __all__ = [
     "fleet_result_from_dict",
     "dump_fleet_result",
     "load_fleet_result",
+    "timeseries_to_dict",
+    "timeseries_from_dict",
     "scenario_spec_to_dict",
     "scenario_spec_from_dict",
     "SCHEMA_VERSION",
@@ -183,6 +185,10 @@ def serve_result_to_dict(result: "ServeResult") -> Dict[str, Any]:
     from dataclasses import asdict
 
     record = asdict(result)
+    # Unobserved runs must serialize byte-identically to pre-obs
+    # records, so the optional telemetry key is dropped when empty.
+    if record.get("timeseries") is None:
+        record.pop("timeseries", None)
     record["schema"] = SERVE_SCHEMA_VERSION
     return record
 
@@ -213,6 +219,48 @@ def _tenant_stats_from_dict(entry: Dict[str, Any]) -> "TenantStats":
     )
 
 
+def timeseries_to_dict(timeseries: "TimeSeries") -> Dict[str, Any]:
+    """JSON-ready record of run telemetry (standalone; results embed
+    the same shape via ``asdict``)."""
+    from dataclasses import asdict
+
+    return asdict(timeseries)
+
+
+def timeseries_from_dict(
+    data: Optional[Dict[str, Any]],
+) -> Optional["TimeSeries"]:
+    """Rebuild telemetry from a result record; tolerant of absence.
+
+    Pre-obs run records have no ``timeseries`` key at all — callers pass
+    ``data.get("timeseries")`` and get ``None`` back, the historical
+    truth for unobserved runs.
+    """
+    if data is None:
+        return None
+    from ..obs.telemetry import HistogramSummary, TimeSeries
+
+    series = {
+        name: tuple(
+            None if value is None else float(value) for value in values
+        )
+        for name, values in data["series"].items()
+    }
+    histograms = {
+        name: HistogramSummary(
+            edges=tuple(float(edge) for edge in entry["edges"]),
+            counts=tuple(int(count) for count in entry["counts"]),
+        )
+        for name, entry in data.get("histograms", {}).items()
+    }
+    return TimeSeries(
+        window_cycles=float(data["window_cycles"]),
+        times=tuple(float(t) for t in data["times"]),
+        series=series,
+        histograms=histograms,
+    )
+
+
 def serve_result_from_dict(data: Dict[str, Any]) -> "ServeResult":
     from ..serve.metrics import ServeResult
 
@@ -237,6 +285,7 @@ def serve_result_from_dict(data: Dict[str, Any]) -> "ServeResult":
         drained=bool(data["drained"]),
         tenants=tuple(tenants),
         clp_busy_fraction=tuple(float(f) for f in data["clp_busy_fraction"]),
+        timeseries=timeseries_from_dict(data.get("timeseries")),
     )
 
 
@@ -250,6 +299,9 @@ def fleet_result_to_dict(result: "FleetResult") -> Dict[str, Any]:
     from dataclasses import asdict
 
     record = asdict(result)
+    # Same contract as serve records: no telemetry key unless observed.
+    if record.get("timeseries") is None:
+        record.pop("timeseries", None)
     record["schema"] = FLEET_SCHEMA_VERSION
     return record
 
@@ -297,6 +349,7 @@ def fleet_result_from_dict(data: Dict[str, Any]) -> "FleetResult":
             _incident_from_dict(entry) for entry in data.get("incidents", ())
         ),
         resilience=_resilience_from_dict(data.get("resilience")),
+        timeseries=timeseries_from_dict(data.get("timeseries")),
     )
 
 

@@ -13,6 +13,7 @@ finished first — sweeps are deterministic by construction.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -35,6 +36,13 @@ class SweepOutcome:
     computed: int
     cached: int
     workers: int
+    #: Wall-clock seconds for the whole run() call, and the sum of the
+    #: workers' per-point solve times.  solve_s > wall_s means the pool
+    #: parallelism paid off; a large wall/solve gap on a cached sweep is
+    #: store-load overhead.  Both default to 0.0 so pre-profiling
+    #: constructors (and tests) stay valid.
+    wall_s: float = 0.0
+    solve_s: float = 0.0
 
     @property
     def total(self) -> int:
@@ -52,11 +60,14 @@ class SweepOutcome:
         return self.cached / self.total if self.total else 0.0
 
     def format(self) -> str:
-        return (
+        line = (
             f"{self.total} points: {self.computed} computed, "
             f"{self.cached} cached ({self.cache_hit_rate:.0%} hits), "
             f"{self.infeasible} infeasible, {self.workers} worker(s)"
         )
+        if self.wall_s > 0:
+            line += f"; {self.wall_s:.2f}s wall, {self.solve_s:.2f}s solving"
+        return line
 
 
 class SweepRunner:
@@ -83,6 +94,7 @@ class SweepRunner:
         progress: Optional[Callable[[SweepResult], None]] = None,
     ) -> SweepOutcome:
         """Solve every point of ``spec`` not already in the store."""
+        started = time.perf_counter()
         points = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
         missing: List[DesignPoint] = []
         queued = set()
@@ -125,11 +137,14 @@ class SweepRunner:
             result = self.store.get(point.key())
             assert result is not None  # every point was cached or computed
             results.append(result)
+        solve_s = sum(self.store.get(p.key()).elapsed_s for p in missing)
         return SweepOutcome(
             results=tuple(results),
             computed=len(missing),
             cached=cached,
             workers=workers,
+            wall_s=time.perf_counter() - started,
+            solve_s=solve_s,
         )
 
     def _collect(

@@ -100,8 +100,15 @@ class ResultStore:
             if self.skipped_lines
             else ""
         )
+        solve_s = sum(r.elapsed_s for r in self._records.values())
+        timing = (
+            f", {solve_s:.1f}s solve time "
+            f"({solve_s / len(self._records):.2f}s/point)"
+            if solve_s > 0
+            else ""
+        )
         return (
             f"store {where}: {len(self._records)} points "
             f"({ok} solved, {failed} infeasible) "
-            f"across networks {networks or '[]'}{skipped}"
+            f"across networks {networks or '[]'}{skipped}{timing}"
         )

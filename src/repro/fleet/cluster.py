@@ -20,7 +20,19 @@ boards?) trustworthy extrapolations of the paper's device model.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from ..obs.telemetry import ObsSpec, TimeSeries
 
 from ..scenario.faults import Incident, Outage
 from ..scenario.library import ScenarioSpec, get_scenario
@@ -224,6 +236,7 @@ class ClusterSimulator:
         drain: bool = False,
         scenario: Union[str, ScenarioSpec, None] = None,
         engine: str = "auto",
+        obs: Optional["ObsSpec"] = None,
     ) -> FleetResult:
         """One seeded traffic window over the whole fleet.
 
@@ -254,6 +267,16 @@ class ClusterSimulator:
         scenario never perturbs the arrival streams; a *no-op* scenario
         (no faults, no surge) is bit-exact to passing ``scenario=None``
         apart from the result's ``scenario`` label.
+
+        ``obs`` (an :class:`~repro.obs.ObsSpec`) opts the run into
+        windowed telemetry (the result's ``timeseries`` field: fleet
+        per-tenant gauges and rates, per-replica duty factors and
+        health, windowed p99) and/or request-lifecycle + incident
+        tracing.  Observation needs the event engine: ``engine="auto"``
+        falls back to it for observed runs (scalars stay bit-identical);
+        an explicit ``engine="fast"`` keeps the fast path where it
+        applies and reports ``timeseries=None``, and raises if a trace
+        was requested.  ``obs=None`` (default) changes nothing.
         """
         from ..sim.engine import Simulator
         from ..sim.fastpath import (
@@ -267,6 +290,16 @@ class ClusterSimulator:
         if isinstance(scenario, str):
             scenario = get_scenario(scenario)
         concrete = resolve_engine(engine, has_scenario=scenario is not None)
+        obs_active = obs is not None and obs.active
+        if obs_active and concrete == "fast":
+            if engine == "fast" and obs.trace is not None:
+                raise ValueError(
+                    "engine='fast' cannot emit a trace; use 'auto' or 'event'"
+                )
+            if engine != "fast":
+                # The fast solver has no event stream to sample or
+                # trace; "auto" prefers observability over speed.
+                concrete = "event"
 
         replicas: List[Replica] = []
         for device in self.devices:
@@ -303,7 +336,16 @@ class ClusterSimulator:
                 None, [], {spec.name: 0 for spec in self.tenants}, [],
             )
 
-        sim = Simulator()
+        recorder = obs.make_recorder(horizon) if obs_active else None
+        tracer = obs.trace if obs_active else None
+
+        sim = Simulator(
+            on_event=(
+                None
+                if recorder is None
+                else lambda when: recorder.count("engine_events", when)
+            )
+        )
         #: One open/closed flag per tenant *stream* (shared by replicas).
         stream_open = [True] * len(self.tenants)
 
@@ -367,10 +409,24 @@ class ClusterSimulator:
                             # request — booked as arrived and lost at
                             # aggregation time.
                             unroutable[spec.name] += 1
+                            if tracer is not None:
+                                tracer.request_unroutable(spec.name, sim.now)
                             pump(count + 1)
                             return
                     choice = balancer.route(spec.name, targets, sim.now)
-                    replicas[choice].states[spec.name].on_arrival(sim.now)
+                    landing = replicas[choice].states[spec.name]
+                    if tracer is None:
+                        landing.on_arrival(sim.now)
+                    else:
+                        before = landing.drops
+                        landing.on_arrival(sim.now)
+                        tracer.request_arrived(
+                            spec.name,
+                            choice,
+                            sim.now,
+                            dropped=landing.drops > before,
+                            policy=self.policy,
+                        )
                     pump(count + 1)
 
                 sim.schedule_at(when, fire)
@@ -385,6 +441,8 @@ class ClusterSimulator:
             replica.down_depth += 1
             if replica.down_depth > 1:
                 return  # already down (overlapping outage windows)
+            if tracer is not None:
+                tracer.incident_begin(replica.label, sim.now)
             # Work in the pipeline dies with the board; a new generation
             # turns its already-scheduled completion events into no-ops.
             replica.generation += 1
@@ -398,6 +456,10 @@ class ClusterSimulator:
                     replica.clp_busy[clp_index] -= state.pipeline * cycles
                 state.lost += state.pipeline
                 state.pipeline = 0
+                if tracer is not None:
+                    tracer.pipeline_killed(
+                        state.spec.name, replica.index, sim.now
+                    )
                 evacuated = list(state.queue)
                 if not evacuated:
                     continue
@@ -406,6 +468,11 @@ class ClusterSimulator:
                 for arrival in evacuated:
                     if failure_policy == "lost":
                         state.lost += 1
+                        if tracer is not None:
+                            tracer.request_evacuated(
+                                state.spec.name, replica.index, sim.now,
+                                outcome="lost",
+                            )
                         continue
                     rescue = tuple(
                         i
@@ -414,16 +481,35 @@ class ClusterSimulator:
                     )
                     if not rescue:
                         state.lost += 1
+                        if tracer is not None:
+                            tracer.request_evacuated(
+                                state.spec.name, replica.index, sim.now,
+                                outcome="lost",
+                            )
                         continue
                     choice = balancer.route(
                         state.spec.name, rescue, sim.now
                     )
-                    replicas[choice].states[state.spec.name].requeue(
-                        arrival, sim.now
-                    )
+                    target = replicas[choice].states[state.spec.name]
+                    if tracer is None:
+                        target.requeue(arrival, sim.now)
+                    else:
+                        before = target.drops
+                        target.requeue(arrival, sim.now)
+                        tracer.request_evacuated(
+                            state.spec.name, replica.index, sim.now,
+                            outcome=(
+                                "dropped"
+                                if target.drops > before
+                                else "requeued"
+                            ),
+                            target=choice,
+                        )
 
         def recover(replica: Replica) -> None:
             replica.down_depth -= 1
+            if replica.down_depth == 0 and tracer is not None:
+                tracer.incident_end(replica.label, sim.now)
 
         for outage in outages:
             target = replicas[outage.replica]
@@ -442,6 +528,10 @@ class ClusterSimulator:
             if replica.generation != gen:
                 return  # the board died after admission; work already lost
             state.on_completion(arrival, sim.now)
+            if tracer is not None:
+                tracer.request_completed(
+                    state.spec.name, replica.index, sim.now, arrival
+                )
             if record:
                 samples.append((sim.now, sim.now - arrival))
 
@@ -454,6 +544,11 @@ class ClusterSimulator:
                         arrival = state.admit(sim.now)
                         if arrival is None:
                             continue
+                        if tracer is not None:
+                            tracer.request_dispatched(
+                                state.spec.name, replica.index, sim.now,
+                                arrival,
+                            )
                         for clp_index, cycles in enumerate(state.clp_cycles):
                             replica.clp_busy[clp_index] += cycles
                         sim.schedule(
@@ -480,6 +575,62 @@ class ClusterSimulator:
         for replica in replicas:
             make_boundary(replica)()  # first dispatch at cycle 0
 
+        if recorder is not None:
+            from ..obs.telemetry import BusySampler, TenantGroupSampler
+
+            tenant_samplers = [
+                TenantGroupSampler(
+                    recorder,
+                    spec.name,
+                    [
+                        replicas[i].states[spec.name]
+                        for i in eligible[spec.name]
+                    ],
+                    unroutable=lambda name=spec.name: unroutable[name],
+                )
+                for spec in self.tenants
+            ]
+            busy_samplers = [
+                BusySampler(
+                    recorder,
+                    f"util/{replica.label}",
+                    replica.clp_busy,
+                    aggregate="max",
+                )
+                for replica in replicas
+            ]
+
+            def sample(window: int, when: float) -> None:
+                for sampler in tenant_samplers:
+                    sampler.sample(window, when)
+                for sampler in busy_samplers:
+                    sampler.sample(window, when)
+                recorder.gauge(
+                    "healthy_replicas",
+                    window,
+                    sum(1 for replica in replicas if replica.healthy),
+                )
+                for replica in replicas:
+                    recorder.gauge(
+                        f"outstanding/{replica.label}",
+                        window,
+                        replica.outstanding,
+                    )
+                    if have_faults:
+                        recorder.gauge(
+                            f"healthy/{replica.label}",
+                            window,
+                            1.0 if replica.healthy else 0.0,
+                        )
+
+            # Read-only samplers on the shared grid; scheduled last so
+            # they never perturb the run they watch.
+            for window, when in enumerate(recorder.times):
+                sim.schedule_at(
+                    when,
+                    lambda window=window, when=when: sample(window, when),
+                )
+
         if drain:
             elapsed = max(sim.run(), horizon)
         else:
@@ -489,6 +640,9 @@ class ClusterSimulator:
         return self._finalize(
             balancer, replicas, horizon, elapsed, seed, drain,
             scenario, outages, unroutable, samples,
+            timeseries=(
+                recorder.finalize() if recorder is not None else None
+            ),
         )
 
     def _finalize(
@@ -503,6 +657,7 @@ class ClusterSimulator:
         outages: List[Outage],
         unroutable: Dict[str, int],
         samples: List[Tuple[float, float]],
+        timeseries: Optional["TimeSeries"] = None,
     ) -> FleetResult:
         """Reduce final replica state to a :class:`FleetResult` (engine-shared)."""
         aggregates = tuple(
@@ -569,6 +724,7 @@ class ClusterSimulator:
             scenario=scenario.name if scenario is not None else None,
             incidents=incidents,
             resilience=resilience,
+            timeseries=timeseries,
         )
 
 
@@ -585,6 +741,7 @@ def simulate_fleet(
     drain: bool = False,
     scenario: Union[str, ScenarioSpec, None] = None,
     engine: str = "auto",
+    obs: Optional["ObsSpec"] = None,
 ) -> FleetResult:
     """One-shot convenience wrapper around :class:`ClusterSimulator`."""
     cluster = ClusterSimulator(
@@ -596,5 +753,10 @@ def simulate_fleet(
         policy=policy,
     )
     return cluster.run(
-        duration_cycles, seed=seed, drain=drain, scenario=scenario, engine=engine
+        duration_cycles,
+        seed=seed,
+        drain=drain,
+        scenario=scenario,
+        engine=engine,
+        obs=obs,
     )

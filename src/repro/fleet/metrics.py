@@ -14,7 +14,10 @@ same seeded run, which the differential tests pin exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # annotation only; results never construct telemetry
+    from ..obs.telemetry import TimeSeries
 
 from ..scenario.faults import Incident
 from ..scenario.resilience import ResilienceReport, WindowMetrics
@@ -93,6 +96,10 @@ class FleetResult:
     scenario: Optional[str] = None
     incidents: Tuple[Incident, ...] = ()
     resilience: Optional[ResilienceReport] = None
+    #: Windowed telemetry (:class:`repro.obs.TimeSeries`), present only
+    #: when the run was observed; ``None`` keeps unobserved results
+    #: byte-identical to pre-obs records (fast-path runs report ``None``).
+    timeseries: Optional["TimeSeries"] = None
 
     # ------------------------------------------------------------ conversions
     @property

@@ -18,7 +18,11 @@ Two ways to answer "how many boards?":
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:
+    from ..obs.telemetry import TimeSeries
+    from ..obs.trace import TraceRecorder
 
 from ..scenario.library import ScenarioSpec, get_scenario
 from ..serve.simulator import TenantSpec, pipeline_latency_cycles
@@ -380,6 +384,35 @@ class AutoscaleTrace:
 
     windows: Tuple[AutoscaleWindow, ...]
     policy: AutoscalerPolicy
+    #: Simulated cycles per controller window; lets the trajectory be
+    #: re-expressed on the telemetry grid (:meth:`to_timeseries`).
+    #: Defaults to ``None`` so pre-obs traces compare equal.
+    window_cycles: Optional[float] = None
+
+    def to_timeseries(self) -> "TimeSeries":
+        """The trajectory as a :class:`repro.obs.TimeSeries`.
+
+        One telemetry window per controller window, so autoscaler
+        decisions render with the same sparkline/report machinery as
+        run telemetry.  ``p99_ms`` is ``None`` for windows that saw
+        traffic but completed nothing (unbounded latency).
+        """
+        from ..obs.telemetry import TimeSeries
+
+        width = self.window_cycles if self.window_cycles is not None else 1.0
+        times = tuple((index + 1) * width for index in range(len(self.windows)))
+        series = {
+            "replicas": tuple(float(w.replicas) for w in self.windows),
+            "action": tuple(float(w.action) for w in self.windows),
+            "rate_rps": tuple(float(w.rate_rps) for w in self.windows),
+            "p99_ms": tuple(w.p99_ms for w in self.windows),
+            "queue_per_replica": tuple(
+                float(w.queue_per_replica) for w in self.windows
+            ),
+            "drops": tuple(float(w.drops) for w in self.windows),
+            "completions": tuple(float(w.completions) for w in self.windows),
+        }
+        return TimeSeries(window_cycles=width, times=times, series=series)
 
     @property
     def final_replicas(self) -> int:
@@ -433,6 +466,7 @@ def autoscale(
     frequency_mhz: float = 100.0,
     scenario: Union[str, ScenarioSpec, None] = None,
     engine: str = "auto",
+    trace: Optional["TraceRecorder"] = None,
 ) -> AutoscaleTrace:
     """Step a reactive autoscaler across per-window offered rates.
 
@@ -450,6 +484,10 @@ def autoscale(
     :meth:`AutoscalerPolicy.decide` reads each window's resilience
     report, the controller reacts to in-incident degradation rather
     than only the window-wide aggregate.
+
+    ``trace`` (a :class:`repro.obs.TraceRecorder`) records every scale
+    step as an instant event on the autoscaler track, timestamped at
+    the end of the window that triggered it.
     """
     if not rate_schedule:
         raise ValueError("rate_schedule must name at least one window")
@@ -486,6 +524,13 @@ def autoscale(
             engine=engine,
         )
         action = policy.decide(result)
+        if trace is not None and action != 0:
+            trace.scale_step(
+                (index + 1) * duration_cycles,
+                replicas=replicas + action,
+                action=f"{action:+d}",
+                reason=f"window {index} @ {rate_rps:g} r/s",
+            )
         windows.append(
             AutoscaleWindow(
                 index=index,
@@ -499,4 +544,8 @@ def autoscale(
             )
         )
         replicas += action
-    return AutoscaleTrace(windows=tuple(windows), policy=policy)
+    return AutoscaleTrace(
+        windows=tuple(windows),
+        policy=policy,
+        window_cycles=duration_cycles,
+    )

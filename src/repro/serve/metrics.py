@@ -10,7 +10,10 @@ the repo — with millisecond conversions derived from the run's clock.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # annotation only; results never construct telemetry
+    from ..obs.telemetry import TimeSeries
 
 __all__ = ["percentile", "LatencySummary", "TenantStats", "ServeResult"]
 
@@ -135,6 +138,11 @@ class ServeResult:
     drained: bool
     tenants: Tuple[TenantStats, ...]
     clp_busy_fraction: Tuple[float, ...]
+    #: Windowed telemetry (:class:`repro.obs.TimeSeries`), present only
+    #: when the run was observed (``ObsSpec(timeseries=True)``).  ``None``
+    #: by default so unobserved results stay byte-identical to pre-obs
+    #: records; fast-engine runs legitimately report ``None`` too.
+    timeseries: Optional["TimeSeries"] = None
 
     # ------------------------------------------------------------ conversions
     @property

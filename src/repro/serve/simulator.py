@@ -26,7 +26,20 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:
+    from ..obs.telemetry import ObsSpec, TimeSeries
 
 from ..core.design import MultiCLPDesign
 from ..opt.joint import _JOINT_SEPARATOR, JointDesign
@@ -257,6 +270,7 @@ def simulate_traffic(
     calibrate: str = "model",
     drain: bool = False,
     engine: str = "auto",
+    obs: Optional["ObsSpec"] = None,
 ) -> ServeResult:
     """Drive ``design`` with seeded request streams and measure serving.
 
@@ -272,6 +286,16 @@ def simulate_traffic(
     epoch-batched solver (:mod:`repro.sim.fastpath`), and ``"auto"``
     (the default) picks fast — both produce the same result bit for
     bit, which the differential test suite pins.
+
+    ``obs`` (an :class:`~repro.obs.ObsSpec`) opts the run into windowed
+    telemetry (carried on the result's ``timeseries`` field) and/or
+    request-lifecycle tracing.  Observation runs on the event engine:
+    under ``engine="auto"`` an observed run falls back from the fast
+    solver to the event loop (scalar results are bit-identical either
+    way); an explicit ``engine="fast"`` keeps the fast solver and
+    reports ``timeseries=None``, and raises if a trace was requested.
+    With ``obs=None`` (the default) no extra events are scheduled and
+    results are bit-identical to pre-observability behaviour.
 
     Determinism: identical arguments (including ``seed``) produce an
     identical :class:`~repro.serve.metrics.ServeResult`, bit for bit.
@@ -305,14 +329,36 @@ def simulate_traffic(
     clp_busy = [0.0] * base.num_clps
     horizon = float(duration_cycles)
 
-    if resolve_engine(engine) == "fast":
+    concrete = resolve_engine(engine)
+    obs_active = obs is not None and obs.active
+    if obs_active and concrete == "fast":
+        if engine == "fast" and obs.trace is not None:
+            raise ValueError(
+                "engine='fast' cannot emit a trace; use 'auto' or 'event'"
+            )
+        if engine != "fast":
+            # The fast solver has no event stream to sample or trace;
+            # "auto" prefers observability over speed.  An explicit
+            # "fast" keeps the solver and reports timeseries=None.
+            concrete = "event"
+
+    if concrete == "fast":
         elapsed = run_serve_fast(states, clp_busy, epoch, horizon, seed, drain)
         return _assemble_result(
             design, base, states, clp_busy, epoch, horizon, elapsed,
             frequency_mhz, seed, queue_depth, policy, drain,
         )
 
-    sim = Simulator()
+    recorder = obs.make_recorder(horizon) if obs_active else None
+    tracer = obs.trace if obs_active else None
+
+    sim = Simulator(
+        on_event=(
+            None
+            if recorder is None
+            else lambda when: recorder.count("engine_events", when)
+        )
+    )
 
     # Arrivals: one self-rescheduling event chain per tenant, each with
     # a private RNG keyed by (seed, tenant index, tenant name).
@@ -335,7 +381,18 @@ def simulate_traffic(
                 return
 
             def fire() -> None:
-                state.on_arrival(sim.now)
+                if tracer is None:
+                    state.on_arrival(sim.now)
+                else:
+                    before = state.drops
+                    state.on_arrival(sim.now)
+                    tracer.request_arrived(
+                        state.spec.name,
+                        None,
+                        sim.now,
+                        dropped=state.drops > before,
+                        policy=policy,
+                    )
                 pump(count + 1)
 
             sim.schedule_at(when, fire)
@@ -347,12 +404,18 @@ def simulate_traffic(
 
     def complete(state: TenantState, arrival: float) -> None:
         state.on_completion(arrival, sim.now)
+        if tracer is not None:
+            tracer.request_completed(state.spec.name, None, sim.now, arrival)
 
     def boundary(index: int = 0) -> None:
         for state in states:
             arrival = state.admit(sim.now)
             if arrival is None:
                 continue
+            if tracer is not None:
+                tracer.request_dispatched(
+                    state.spec.name, None, sim.now, arrival
+                )
             for clp_index, cycles in enumerate(state.clp_cycles):
                 clp_busy[clp_index] += cycles
             sim.schedule(
@@ -369,6 +432,27 @@ def simulate_traffic(
 
     boundary()  # first dispatch at cycle 0
 
+    if recorder is not None:
+        from ..obs.telemetry import BusySampler, TenantGroupSampler
+
+        tenant_samplers = [
+            TenantGroupSampler(recorder, state.spec.name, [state])
+            for state in states
+        ]
+        busy_sampler = BusySampler(recorder, "util/CLP", clp_busy)
+
+        def sample(window: int, when: float) -> None:
+            for sampler in tenant_samplers:
+                sampler.sample(window, when)
+            busy_sampler.sample(window, when)
+
+        # Samplers live on the same grid as every other event, read-only
+        # and scheduled last, so they never perturb the run they watch.
+        for window, when in enumerate(recorder.times):
+            sim.schedule_at(
+                when, lambda window=window, when=when: sample(window, when)
+            )
+
     if drain:
         elapsed = max(sim.run(), horizon)
     else:
@@ -379,6 +463,7 @@ def simulate_traffic(
     return _assemble_result(
         design, base, states, clp_busy, epoch, horizon, elapsed,
         frequency_mhz, seed, queue_depth, policy, drain,
+        timeseries=recorder.finalize() if recorder is not None else None,
     )
 
 
@@ -395,6 +480,7 @@ def _assemble_result(
     queue_depth: int,
     policy: str,
     drain: bool,
+    timeseries: Optional["TimeSeries"] = None,
 ) -> ServeResult:
     """Reduce final run state to a :class:`ServeResult` (engine-shared)."""
     fractions = tuple(
@@ -419,4 +505,5 @@ def _assemble_result(
         drained=drain,
         tenants=tuple(state.stats(elapsed) for state in states),
         clp_busy_fraction=fractions,
+        timeseries=timeseries,
     )

@@ -16,13 +16,22 @@ __all__ = ["Simulator"]
 
 
 class Simulator:
-    """Deterministic event loop with a monotonically advancing clock."""
+    """Deterministic event loop with a monotonically advancing clock.
 
-    def __init__(self) -> None:
+    ``on_event``, when given, is called with the event's timestamp just
+    before each callback runs — a read-only observation hook used by the
+    telemetry layer (:mod:`repro.obs`) to count event-loop activity per
+    window.  It must not schedule or mutate simulation state.
+    """
+
+    def __init__(
+        self, on_event: Optional[Callable[[float], None]] = None
+    ) -> None:
         self._queue: List[Tuple[float, int, Callable[[], None]]] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._on_event = on_event
 
     @property
     def now(self) -> float:
@@ -69,6 +78,8 @@ class Simulator:
             heapq.heappop(self._queue)
             self._now = time
             self._processed += 1
+            if self._on_event is not None:
+                self._on_event(time)
             callback()
         return self._now
 

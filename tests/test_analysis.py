@@ -3,7 +3,15 @@
 import pytest
 
 from repro.analysis import paper_data
-from repro.analysis.report import ascii_plot, format_ratio, render_table
+from repro.analysis.report import (
+    _cell,
+    ascii_plot,
+    format_ratio,
+    format_sig,
+    markdown_table,
+    render_table,
+    sparkline,
+)
 from repro.analysis.tables import design_for, table2, table3, table6, table8
 from repro.analysis.figures import figure6, figure7
 
@@ -32,6 +40,158 @@ class TestReportHelpers:
 
     def test_ascii_plot_empty(self):
         assert ascii_plot([]) == "(no points)"
+
+    def test_ascii_plot_constant_y(self):
+        # A flat series used to divide by a synthetic span and print a
+        # meaningless "5.00 .. 5.00" range; now it's an annotated midline.
+        out = ascii_plot([(0, 5.0), (10, 5.0)], width=20, height=5)
+        assert "(5.00, constant)" in out
+        assert "-" * 10 in out  # the midline is drawn
+
+    def test_ascii_plot_constant_x(self):
+        out = ascii_plot([(3, 1.0), (3, 2.0)], width=20, height=5)
+        assert "(3, constant)" in out
+
+    def test_ascii_plot_single_point(self):
+        out = ascii_plot([(2, 7.0)], width=20, height=5)
+        assert "(7.00, constant)" in out
+        assert "(2, constant)" in out
+        assert "*" in out
+
+    def test_format_sig_keeps_small_rates_visible(self):
+        # The old %.2f cell rounded a 0.4% drop rate to "0.00".
+        assert format_sig(0.004) == "0.004"
+        assert format_sig(0.00037) == "0.00037"
+        assert format_sig(-0.004) == "-0.004"
+
+    def test_format_sig_large_values_unchanged(self):
+        assert format_sig(0.0) == "0.00"
+        assert format_sig(1.2345) == "1.23"
+        assert format_sig(97.1) == "97.10"
+        assert format_sig(float("nan")) == "nan"
+
+    def test_cell_uses_significant_digits(self):
+        assert _cell(0.004) == "0.004"
+        assert _cell("text") == "text"
+        assert _cell(7) == "7"
+
+    def test_render_table_small_floats(self):
+        out = render_table(["rate"], [(0.004,)])
+        assert "0.004" in out
+
+    def test_sparkline_range(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_gaps_and_constant(self):
+        assert sparkline([None, None]) == "··"
+        assert sparkline([5.0, None, 5.0]) == "▄·▄"
+
+    def test_markdown_table_shape(self):
+        out = markdown_table(["a", "b"], [(1, 0.004)])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert "0.004" in lines[2]
+
+
+class TestRunReport:
+    @pytest.fixture(scope="class")
+    def sample_result(self):
+        import os
+
+        from repro.analysis.report import load_run
+
+        path = os.path.join(
+            os.path.dirname(__file__), "data", "sample_fleet_run.json"
+        )
+        return path, load_run(path)
+
+    def test_load_run_sniffs_fleet(self, sample_result):
+        _, result = sample_result
+        assert result.balancer == "round-robin"
+
+    def test_render_run_report_sections(self, sample_result):
+        from repro.analysis.report import render_run_report
+
+        path, result = sample_result
+        text = render_run_report([result], [path])
+        assert text.startswith("# Run report")
+        assert "## Runs" in text
+        assert "## SLO attainment" in text
+        assert "## Resilience" in text  # the sample ran rolling-reboot
+        assert "## Time series" in text
+        assert "rolling-reboot" in text
+        # Single run: no cross-run aggregate section.
+        assert "## Aggregate" not in text
+
+    def test_multi_run_aggregates(self, sample_result):
+        from repro.analysis.report import render_run_report
+
+        path, result = sample_result
+        text = render_run_report([result, result], [path, path])
+        assert "## Aggregate across runs" in text
+
+    def test_slo_section_uses_given_spec(self, sample_result):
+        from repro.analysis.report import render_run_report
+        from repro.serve import SLOSpec
+
+        path, result = sample_result
+        text = render_run_report(
+            [result], [path], slo=SLOSpec(max_drop_rate=1.0)
+        )
+        assert "(no SLO given" not in text
+
+    def test_bench_history_section(self, sample_result, tmp_path):
+        import json
+
+        from repro.analysis.report import render_run_report
+
+        history = tmp_path / "history.jsonl"
+        rows = [
+            {"commit": "a", "entries": {"serve": {"requests_per_s": 100.0}}},
+            {"commit": "b", "entries": {"serve": {"requests_per_s": 150.0}}},
+        ]
+        history.write_text(
+            "\n".join(json.dumps(row) for row in rows) + "\nnot json\n"
+        )
+        path, result = sample_result
+        text = render_run_report(
+            [result], [path], history_path=str(history)
+        )
+        assert "## Benchmark trajectory" in text
+        assert "+50.0%" in text
+
+    def test_render_report_dispatches_directory(self, sample_result, tmp_path):
+        import shutil
+
+        from repro.analysis.report import render_report
+
+        path, _ = sample_result
+        shutil.copy(path, tmp_path / "run.json")
+        (tmp_path / "noise.json").write_text("{}")
+        text = render_report(str(tmp_path))
+        assert "run.json" in text
+
+    def test_render_report_rejects_empty_dir(self, tmp_path):
+        from repro.analysis.report import render_report
+
+        with pytest.raises(ValueError):
+            render_report(str(tmp_path))
+
+    def test_render_store_report(self, tmp_path):
+        from repro.analysis.report import render_report
+        from repro.dse import DesignPoint, run_sweep
+
+        store = tmp_path / "store.jsonl"
+        point = DesignPoint.build("alexnet", dsp=500, bram18k=400)
+        run_sweep([point], store=str(store))
+        text = render_report(str(store))
+        assert text.startswith("# Sweep report")
+        assert "## Top points by throughput" in text
+        assert "alexnet" in text
+        assert "solve time" in text  # store.describe() timing satellite
 
 
 class TestPaperData:

@@ -94,3 +94,84 @@ class TestCommands:
         out = run(capsys, "joint", "alexnet", "squeezenet",
                   "--part", "690t", "--dtype", "fixed16")
         assert "AlexNet" in out and "SqueezeNet" in out
+
+
+SAMPLE_RUN = __import__("os").path.join(
+    __import__("os").path.dirname(__file__), "data", "sample_fleet_run.json"
+)
+
+
+class TestReportCommand:
+    def test_report_on_run_json(self, capsys):
+        out = run(capsys, "report", SAMPLE_RUN)
+        assert out.startswith("# Run report")
+        assert "## SLO attainment" in out
+        assert "## Time series" in out
+
+    def test_report_out_file(self, capsys, tmp_path):
+        path = tmp_path / "report.md"
+        out = run(capsys, "report", SAMPLE_RUN, "--out", str(path))
+        assert str(path) in out
+        assert path.read_text().startswith("# Run report")
+
+    def test_report_with_slo(self, capsys):
+        out = run(capsys, "report", SAMPLE_RUN, "--p99-ms", "1000",
+                  "--max-drop-rate", "1.0")
+        assert "(no SLO given" not in out
+
+    def test_report_missing_path_errors(self):
+        with pytest.raises(SystemExit):
+            main(["report", "/nonexistent/run.json"])
+
+
+class TestServeObsFlags:
+    @pytest.fixture(scope="class")
+    def design_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("design") / "design.json"
+        main(["optimize", "--single", "--save", str(path)])
+        return str(path)
+
+    def test_fleet_json_omits_timeseries_by_default(self, capsys, design_file):
+        out = run(capsys, "fleet", "simulate", "--load", design_file,
+                  "--replicas", "2", "--rate", "100",
+                  "--process", "constant", "--json")
+        record = json.loads(out)
+        assert record["num_replicas"] == 2
+        assert "timeseries" not in record
+
+    def test_fleet_json_includes_timeseries_on_request(
+        self, capsys, design_file
+    ):
+        out = run(capsys, "fleet", "simulate", "--load", design_file,
+                  "--replicas", "2", "--rate", "100",
+                  "--process", "constant", "--json", "--emit-timeseries")
+        record = json.loads(out)
+        assert record["timeseries"]["series"]
+
+    def test_serve_trace_and_report(self, capsys, design_file, tmp_path):
+        trace = tmp_path / "trace.json"
+        report = tmp_path / "report.md"
+        out = run(capsys, "serve", "--load", design_file, "--rate", "100",
+                  "--process", "constant", "--emit-timeseries",
+                  "--trace-out", str(trace), "--report", str(report))
+        assert str(trace) in out and str(report) in out
+        assert json.loads(trace.read_text())["traceEvents"]
+        assert report.read_text().startswith("# Run report")
+
+    def test_serve_fast_engine_rejects_trace(self, design_file, tmp_path):
+        with pytest.raises(SystemExit, match="cannot emit a trace"):
+            main(["serve", "--load", design_file, "--engine", "fast",
+                  "--trace-out", str(tmp_path / "t.json")])
+
+    def test_autoscale_report_and_trace(self, capsys, design_file, tmp_path):
+        trace = tmp_path / "scaling.json"
+        report = tmp_path / "autoscale.md"
+        out = run(capsys, "fleet", "autoscale", "--load", design_file,
+                  "--rates", "50", "400", "--window-ms", "40",
+                  "--max-replicas", "3",
+                  "--trace-out", str(trace), "--report", str(report))
+        assert str(trace) in out and str(report) in out
+        assert "traceEvents" in trace.read_text()
+        text = report.read_text()
+        assert text.startswith("# Autoscale report")
+        assert "## Window series" in text

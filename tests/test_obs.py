@@ -1,0 +1,379 @@
+"""Tests for repro.obs: telemetry, tracing, and bit-neutrality.
+
+Three invariants matter most:
+
+* turning observability on must not change a single scalar of the run
+  (sampler events ride the same event loop but are read-only);
+* the window grid must be total — every horizon/window combination
+  covers [0, horizon] exactly, including truncated tails and
+  zero-arrival windows;
+* exported Chrome traces must be structurally valid: monotonic
+  timestamps, every async span opened before it closes, incident
+  duration events properly alternating per track.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.core.serialize import (
+    fleet_result_from_dict,
+    fleet_result_to_dict,
+    serve_result_from_dict,
+    serve_result_to_dict,
+    timeseries_from_dict,
+    timeseries_to_dict,
+)
+from repro.fleet import DeviceSpec, simulate_fleet
+from repro.obs import (
+    DEFAULT_WINDOWS,
+    MetricsRecorder,
+    ObsSpec,
+    TimeSeries,
+    TraceRecorder,
+)
+from repro.obs.telemetry import window_grid
+from repro.serve import PoissonArrivals, TenantSpec, simulate_traffic
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+
+@pytest.fixture(scope="module")
+def toy_tenants(toy_design):
+    epoch = toy_design.epoch_cycles
+    return [TenantSpec("toy", PoissonArrivals(1.0 / epoch))]
+
+
+def serve_kwargs(toy_design):
+    return dict(duration_cycles=30.0 * toy_design.epoch_cycles, seed=11)
+
+
+# ------------------------------------------------------------------ telemetry
+
+
+class TestWindowGrid:
+    def test_divisible(self):
+        assert window_grid(100.0, 25.0) == (25.0, 50.0, 75.0, 100.0)
+
+    def test_truncated_tail(self):
+        # Horizon not divisible by the window: the last window is short
+        # but still ends exactly at the horizon.
+        grid = window_grid(100.0, 30.0)
+        assert grid == (30.0, 60.0, 90.0, 100.0)
+
+    def test_window_larger_than_horizon(self):
+        assert window_grid(50.0, 80.0) == (50.0,)
+
+    def test_covers_horizon_exactly(self):
+        for horizon, window in ((97.0, 10.0), (1.0, 3.0), (64.0, 64.0)):
+            grid = window_grid(horizon, window)
+            assert grid[-1] == horizon
+            assert len(grid) == max(1, math.ceil(horizon / window))
+
+
+class TestMetricsRecorder:
+    def test_gauge_and_count(self):
+        rec = MetricsRecorder(100.0, 25.0)
+        rec.gauge("depth", 0, 3.0)
+        rec.gauge("depth", 3, 7.0)
+        rec.count("events", 10.0)
+        rec.count("events", 10.0)
+        rec.count("events", 90.0)
+        ts = rec.finalize()
+        # Gauges are honest about unsampled windows (None); counts
+        # backfill zeros — a quiet window had zero events, not no data.
+        assert ts.get("depth") == (3.0, None, None, 7.0)
+        assert ts.get("events") == (2.0, 0.0, 0.0, 1.0)
+
+    def test_zero_activity_windows_emit_zeros(self):
+        # A window with no samples still appears as an explicit 0, not a
+        # hole — sparklines and sums must see the quiet periods.
+        rec = MetricsRecorder(100.0, 10.0)
+        rec.count("arrivals", 5.0)
+        ts = rec.finalize()
+        assert len(ts.get("arrivals")) == 10
+        assert ts.get("arrivals")[1:] == (0.0,) * 9
+
+    def test_cumulative_diffs_per_window(self):
+        rec = MetricsRecorder(100.0, 25.0)
+        for window, total in enumerate((3.0, 3.0, 10.0, 12.0)):
+            rec.cumulative("done", window, total)
+        ts = rec.finalize()
+        assert ts.get("done") == (3.0, 0.0, 7.0, 2.0)
+
+    def test_windowed_allows_none(self):
+        rec = MetricsRecorder(100.0, 50.0)
+        rec.windowed("p99", 0, None)
+        rec.windowed("p99", 1, 42.0)
+        ts = rec.finalize()
+        assert ts.get("p99") == (None, 42.0)
+
+    def test_window_index_clamps_drain_tail(self):
+        rec = MetricsRecorder(100.0, 25.0)
+        assert rec.window_index(0.0) == 0
+        assert rec.window_index(99.9) == 3
+        assert rec.window_index(250.0) == 3  # past-horizon drain tail
+
+    def test_histogram(self):
+        rec = MetricsRecorder(100.0, 50.0)
+        rec.observe("lat", 5.0, edges=(10.0, 100.0))
+        rec.observe("lat", 50.0, edges=(10.0, 100.0))
+        rec.observe("lat", 5000.0, edges=(10.0, 100.0))
+        ts = rec.finalize()
+        hist = ts.histograms["lat"]
+        assert hist.counts == (1, 1, 1)
+
+    def test_obs_spec_window_resolution(self):
+        spec = ObsSpec(timeseries=True)
+        assert spec.resolve_window(600.0) == 600.0 / DEFAULT_WINDOWS
+        pinned = ObsSpec(timeseries=True, window_cycles=40.0)
+        assert pinned.resolve_window(600.0) == 40.0
+
+    def test_inactive_spec_makes_no_recorder(self):
+        assert ObsSpec().make_recorder(100.0) is None
+        assert not ObsSpec().active
+
+
+# -------------------------------------------------------------- bit-neutrality
+
+
+def scalars(record):
+    record = dict(record)
+    record.pop("timeseries", None)
+    return record
+
+
+class TestBitNeutrality:
+    def test_serve_scalars_unchanged_by_obs(self, toy_design, toy_tenants):
+        base = simulate_traffic(
+            toy_design, toy_tenants, **serve_kwargs(toy_design)
+        )
+        obs = simulate_traffic(
+            toy_design,
+            toy_tenants,
+            obs=ObsSpec(timeseries=True, windows=8, trace=TraceRecorder()),
+            **serve_kwargs(toy_design),
+        )
+        assert scalars(serve_result_to_dict(base)) == scalars(
+            serve_result_to_dict(obs)
+        )
+        assert obs.timeseries is not None
+        assert base.timeseries is None
+
+    def test_fleet_scalars_unchanged_by_obs(self, toy_design, toy_tenants):
+        kwargs = dict(
+            duration_cycles=30.0 * toy_design.epoch_cycles,
+            seed=5,
+            scenario="rolling-reboot",
+        )
+        devices = DeviceSpec(toy_design).replicated(3)
+        base = simulate_fleet(devices, toy_tenants, **kwargs)
+        obs = simulate_fleet(
+            devices,
+            toy_tenants,
+            obs=ObsSpec(timeseries=True, windows=8, trace=TraceRecorder()),
+            **kwargs,
+        )
+        assert scalars(fleet_result_to_dict(base)) == scalars(
+            fleet_result_to_dict(obs)
+        )
+        assert obs.timeseries is not None
+
+    def test_fast_and_event_scalars_equal_with_obs(
+        self, toy_design, toy_tenants
+    ):
+        # Explicit fast engine with timeseries requested: runs fast,
+        # reports no timeseries, but every scalar matches the event run.
+        fast = simulate_traffic(
+            toy_design,
+            toy_tenants,
+            engine="fast",
+            obs=ObsSpec(timeseries=True, windows=8),
+            **serve_kwargs(toy_design),
+        )
+        event = simulate_traffic(
+            toy_design,
+            toy_tenants,
+            engine="event",
+            obs=ObsSpec(timeseries=True, windows=8),
+            **serve_kwargs(toy_design),
+        )
+        assert fast.timeseries is None
+        assert event.timeseries is not None
+        assert scalars(serve_result_to_dict(fast)) == scalars(
+            serve_result_to_dict(event)
+        )
+
+    def test_auto_engine_prefers_observability(self, toy_design, toy_tenants):
+        result = simulate_traffic(
+            toy_design,
+            toy_tenants,
+            engine="auto",
+            obs=ObsSpec(timeseries=True, windows=8),
+            **serve_kwargs(toy_design),
+        )
+        assert result.timeseries is not None
+
+    def test_explicit_fast_with_trace_raises(self, toy_design, toy_tenants):
+        with pytest.raises(ValueError, match="cannot emit a trace"):
+            simulate_traffic(
+                toy_design,
+                toy_tenants,
+                engine="fast",
+                obs=ObsSpec(trace=TraceRecorder()),
+                **serve_kwargs(toy_design),
+            )
+
+    def test_timeseries_deterministic(self, toy_design, toy_tenants):
+        runs = [
+            simulate_traffic(
+                toy_design,
+                toy_tenants,
+                obs=ObsSpec(timeseries=True, windows=8),
+                **serve_kwargs(toy_design),
+            )
+            for _ in range(2)
+        ]
+        assert runs[0].timeseries == runs[1].timeseries
+
+    def test_arrival_windows_sum_to_totals(self, toy_design, toy_tenants):
+        result = simulate_traffic(
+            toy_design,
+            toy_tenants,
+            obs=ObsSpec(timeseries=True, windows=8),
+            **serve_kwargs(toy_design),
+        )
+        ts = result.timeseries
+        assert sum(ts.get("arrivals/toy")) == result.tenants[0].arrivals
+        assert sum(ts.get("drops/toy")) == result.tenants[0].drops
+
+
+# -------------------------------------------------------------------- tracing
+
+
+@pytest.fixture(scope="module")
+def fleet_trace(toy_design, toy_tenants):
+    trace = TraceRecorder()
+    result = simulate_fleet(
+        DeviceSpec(toy_design).replicated(3),
+        toy_tenants,
+        duration_cycles=30.0 * toy_design.epoch_cycles,
+        seed=5,
+        scenario="rolling-reboot",
+        obs=ObsSpec(trace=trace),
+    )
+    return trace, result
+
+
+class TestTrace:
+    def test_chrome_timestamps_monotonic(self, fleet_trace):
+        trace, _ = fleet_trace
+        events = trace.to_chrome()["traceEvents"]
+        stamps = [e["ts"] for e in events if e["ph"] != "M"]
+        assert stamps == sorted(stamps)
+        assert all(ts >= 0 for ts in stamps)
+
+    def test_async_spans_open_before_close(self, fleet_trace):
+        trace, _ = fleet_trace
+        events = trace.to_chrome()["traceEvents"]
+        opened = set()
+        closes = 0
+        for event in events:
+            if event["ph"] == "b":
+                assert event["id"] not in opened
+                opened.add(event["id"])
+            elif event["ph"] == "e":
+                assert event["id"] in opened
+                closes += 1
+        # Requests still queued or in-pipeline when a non-drained run
+        # hits the horizon legitimately leave their spans open.
+        assert 0 < closes <= len(opened)
+
+    def test_incident_spans_nest_per_track(self, fleet_trace):
+        trace, result = fleet_trace
+        assert result.incidents  # the drill actually fired
+        events = trace.to_chrome()["traceEvents"]
+        depth: dict = {}
+        for event in events:
+            if event.get("cat") != "incident":
+                continue
+            tid = event["tid"]
+            if event["ph"] == "B":
+                depth[tid] = depth.get(tid, 0) + 1
+                assert depth[tid] == 1  # union semantics: no overlap
+            elif event["ph"] == "E":
+                depth[tid] -= 1
+                assert depth[tid] == 0
+        assert depth and all(d == 0 for d in depth.values())
+
+    def test_jsonl_export(self, fleet_trace, tmp_path):
+        trace, _ = fleet_trace
+        path = tmp_path / "trace.jsonl"
+        trace.write_jsonl(str(path))
+        lines = path.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            event = json.loads(line)
+            assert event["ph"] != "M"  # metadata is chrome-only
+
+    def test_chrome_file_loads(self, fleet_trace, tmp_path):
+        trace, _ = fleet_trace
+        path = tmp_path / "trace.json"
+        trace.write_chrome(str(path))
+        record = json.loads(path.read_text())
+        assert record["traceEvents"]
+        assert any(e["ph"] == "M" for e in record["traceEvents"])
+
+
+# -------------------------------------------------------------- serialization
+
+
+class TestSerialization:
+    def test_plain_record_has_no_timeseries_key(self, toy_design, toy_tenants):
+        result = simulate_traffic(
+            toy_design, toy_tenants, **serve_kwargs(toy_design)
+        )
+        assert "timeseries" not in serve_result_to_dict(result)
+
+    def test_legacy_fleet_json_round_trips(self):
+        # A pre-observability record (no timeseries key) must load and
+        # re-serialize unchanged.
+        path = os.path.join(DATA_DIR, "sample_fleet_run.json")
+        with open(path) as handle:
+            record = json.load(handle)
+        legacy = dict(record)
+        legacy.pop("timeseries", None)
+        result = fleet_result_from_dict(legacy)
+        assert result.timeseries is None
+        rewritten = json.loads(json.dumps(fleet_result_to_dict(result)))
+        assert rewritten == legacy
+
+    def test_timeseries_round_trip(self, toy_design, toy_tenants):
+        result = simulate_traffic(
+            toy_design,
+            toy_tenants,
+            obs=ObsSpec(timeseries=True, windows=8),
+            **serve_kwargs(toy_design),
+        )
+        record = json.loads(json.dumps(serve_result_to_dict(result)))
+        loaded = serve_result_from_dict(record)
+        assert loaded.timeseries == result.timeseries
+
+    def test_timeseries_dict_round_trip(self):
+        ts = TimeSeries(
+            window_cycles=10.0,
+            times=(10.0, 20.0),
+            series={"q": (1.0, None)},
+        )
+        assert timeseries_from_dict(timeseries_to_dict(ts)) == ts
+        assert timeseries_from_dict(None) is None
+
+    def test_sample_run_loads_with_timeseries(self):
+        path = os.path.join(DATA_DIR, "sample_fleet_run.json")
+        with open(path) as handle:
+            result = fleet_result_from_dict(json.load(handle))
+        assert result.timeseries is not None
+        assert len(result.timeseries.times) == 16
+        assert result.scenario == "rolling-reboot"
