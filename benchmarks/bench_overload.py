@@ -1,0 +1,192 @@
+"""Overload control: retry storms, admission, and goodput retention.
+
+A retry storm is the canonical metastable failure: a transient capacity
+loss fills the queues, clients time out and retry, the retries keep the
+queues full after capacity returns, and the system never recovers
+without intervention.  This benchmark runs the same rack-failure drill
+(75% of a 2-replica AlexNet fleet for 15% of the run) twice:
+
+* **naive** clients — FIFO queues, unlimited immediate retries, no
+  admission control — the configuration that wedges;
+* **controlled** clients — EDF dispatch, token-bucket admission at 95%
+  of fleet capacity, 3 capped decorrelated-jitter retry attempts.
+
+Both runs carry a deadline of pipeline latency plus six epochs so
+goodput (completions that made their deadline) is well defined.  The bands: the naive fleet must
+retain under 50% of its pre-fault goodput after the fault clears (the
+storm is real), the controlled fleet at least 90% (the control works),
+and retry amplification under control must stay below the naive run's.
+
+Numbers land in ``BENCH_overload.json`` — ``goodput_retention`` plus
+its floor ride along so ``scripts/track_history.py check`` re-asserts
+the recovery contract from the committed history, not just this run.
+"""
+
+import time
+
+from conftest import bench_scale
+
+from repro.core.datatypes import FLOAT32
+from repro.fleet import DeviceSpec, simulate_fleet
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet
+from repro.opt import optimize_multi_clp
+from repro.scenario import RackFailure, ScenarioSpec
+from repro.serve import (
+    AdmissionPolicy,
+    OverloadSpec,
+    PoissonArrivals,
+    RetryPolicy,
+    TenantSpec,
+    pipeline_latency_cycles,
+)
+
+EPOCHS = bench_scale(full=1_000, smoke=250)
+REPLICAS = 2
+FAULT_START = 0.25
+FAULT_END = 0.40
+RETENTION_FLOOR = 0.9
+FREQUENCY_HZ = 100e6
+
+
+def _storm(epoch):
+    return ScenarioSpec(
+        name="storm-bench",
+        faults=(
+            RackFailure(
+                fraction=0.75,
+                start=FAULT_START,
+                duration=FAULT_END - FAULT_START,
+            ),
+        ),
+    )
+
+
+def _run_once(device, overload):
+    epoch = device.resolve_epoch()
+    horizon = EPOCHS * epoch
+    process = PoissonArrivals(0.9 * REPLICAS / epoch)
+    result = simulate_fleet(
+        device.replicated(REPLICAS),
+        [TenantSpec("AlexNet", process)],
+        duration_cycles=horizon,
+        seed=0,
+        queue_depth=32,
+        scenario=_storm(epoch),
+        overload=overload,
+    )
+    report = result.overload
+    pre = report.goodput_between(0, FAULT_START * horizon)
+    pre_rate = pre / (FAULT_START * horizon)
+    recover_start = (FAULT_END + 0.1) * horizon
+    post = report.goodput_between(recover_start, horizon)
+    post_rate = post / (horizon - recover_start)
+    retention = post_rate / pre_rate if pre_rate > 0 else 0.0
+    return result, retention
+
+
+def _amplification(result):
+    tenant = result.tenants[0]
+    originals = tenant.arrivals - tenant.retries - tenant.hedges
+    return tenant.arrivals / originals if originals else 1.0
+
+
+def test_overload_control_speed(benchmark, record_artifact,
+                                record_bench_json):
+    design = optimize_multi_clp(alexnet(), budget_for("485t"), FLOAT32)
+    device = DeviceSpec(design, part="485t")
+    epoch = device.resolve_epoch()
+    epoch_ms = epoch / FREQUENCY_HZ * 1e3
+    # Deadline = zero-queueing pipeline latency plus a 6-epoch queueing
+    # allowance; anchored to the design's depth so the band transfers
+    # across networks with different pipeline lengths.
+    floor_ms = pipeline_latency_cycles(design) / FREQUENCY_HZ * 1e3
+    deadline_ms = floor_ms + 6 * epoch_ms
+
+    naive = OverloadSpec(
+        queue_policy="fifo",
+        retry=RetryPolicy(max_attempts=0, backoff="fixed",
+                          base_ms=0.5 * epoch_ms, cap_ms=0.5 * epoch_ms,
+                          jitter="none"),
+        deadline_ms=deadline_ms,
+    )
+    controlled = OverloadSpec(
+        queue_policy="edf",
+        admission=AdmissionPolicy(
+            rate_rps=0.95 * REPLICAS * FREQUENCY_HZ / epoch, burst=8.0),
+        retry=RetryPolicy(max_attempts=3, backoff="exponential",
+                          base_ms=epoch_ms, cap_ms=16 * epoch_ms,
+                          jitter="decorrelated"),
+        deadline_ms=deadline_ms,
+    )
+
+    started = time.perf_counter()
+    controlled_run, controlled_retention = benchmark.pedantic(
+        lambda: _run_once(device, controlled), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - started
+
+    naive_run, naive_retention = _run_once(device, naive)
+
+    # Conservation through storms on both configurations.
+    for result in (controlled_run, naive_run):
+        tenant = result.tenants[0]
+        assert tenant.arrivals == (
+            tenant.completions + tenant.drops + tenant.lost
+            + tenant.rejected + tenant.expired + tenant.in_flight
+        )
+
+    naive_amp = _amplification(naive_run)
+    controlled_amp = _amplification(controlled_run)
+    tenant = controlled_run.tenants[0]
+    requests_per_s = tenant.arrivals / elapsed
+
+    artifact = "\n".join(
+        [
+            f"overload control ({REPLICAS}x AlexNet 485T, 50% rack loss, "
+            "retry storm)",
+            f"  simulated epochs:      {EPOCHS}",
+            f"  simulated requests:    {tenant.arrivals}",
+            f"  wall-clock:            {elapsed:.3f} s",
+            f"  simulated req/s:       {requests_per_s:,.0f}",
+            f"  naive retention:       {naive_retention:.2f} "
+            "(fifo, unlimited immediate retries)",
+            f"  controlled retention:  {controlled_retention:.2f} "
+            "(edf + admission + capped jittered backoff)",
+            f"  naive retry amp:       {naive_amp:.2f}x",
+            f"  controlled retry amp:  {controlled_amp:.2f}x",
+            f"  rejected (controlled): {tenant.rejected}",
+            f"  expired (controlled):  {tenant.expired}",
+        ]
+    )
+    record_artifact("bench_overload", artifact)
+    record_bench_json(
+        "overload",
+        {
+            "replicas": REPLICAS,
+            "simulated_epochs": EPOCHS,
+            "simulated_requests": tenant.arrivals,
+            "wall_time_s": elapsed,
+            "requests_per_s": requests_per_s,
+            "goodput_retention": controlled_retention,
+            "retention_floor": RETENTION_FLOOR,
+            "naive_retention": naive_retention,
+            "retry_amplification_naive": naive_amp,
+            "retry_amplification_controlled": controlled_amp,
+        },
+    )
+    assert naive_retention < 0.5, (
+        f"naive retries retained {naive_retention:.2f} of pre-fault "
+        "goodput; the storm should be metastable"
+    )
+    assert controlled_retention >= RETENTION_FLOOR, (
+        f"overload control retained only {controlled_retention:.2f} of "
+        f"pre-fault goodput (floor {RETENTION_FLOOR})"
+    )
+    assert controlled_amp < naive_amp, (
+        f"capped backoff amplified load {controlled_amp:.2f}x vs naive "
+        f"{naive_amp:.2f}x; bounded retries should retry less"
+    )
+    assert requests_per_s > 5_000, (
+        f"overload engine too slow: {requests_per_s:,.0f} simulated req/s"
+    )

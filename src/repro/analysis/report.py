@@ -226,7 +226,9 @@ def _goodput_rps(result: Any) -> float:
 
 def _shed_rate(result: Any) -> float:
     arrivals = sum(t.arrivals for t in result.tenants)
-    shed = sum(t.drops + t.lost for t in result.tenants)
+    shed = sum(
+        t.drops + t.lost + t.rejected + t.expired for t in result.tenants
+    )
     return shed / arrivals if arrivals else 0.0
 
 
@@ -234,30 +236,44 @@ def _shed_rate(result: Any) -> float:
 
 
 def _runs_section(results: Sequence[Any], sources: Sequence[str]) -> str:
+    # Overload columns appear only when some run produced the class —
+    # the same conditional-column rule the fleet table uses for `lost`,
+    # keeping overload-free reports byte-identical to older ones.
+    show_rejected = any(
+        sum(t.rejected for t in r.tenants) > 0 for r in results
+    )
+    show_expired = any(
+        sum(t.expired for t in r.tenants) > 0 for r in results
+    )
     rows = []
     for result, source in zip(results, sources):
         p99 = _worst_p99_ms(result)
-        rows.append(
-            (
-                os.path.basename(source),
-                _run_kind(result),
-                _run_label(result),
-                result.seed,
-                f"{result.cycles_to_ms(result.horizon_cycles):.1f}",
-                sum(t.arrivals for t in result.tenants),
-                sum(t.completions for t in result.tenants),
-                f"{_goodput_rps(result):.1f}",
-                "-" if p99 is None else f"{p99:.2f}",
-                f"{_shed_rate(result):.2%}",
-            )
-        )
-    table = markdown_table(
-        (
-            "run", "kind", "label", "seed", "horizon ms", "arrivals",
-            "done", "goodput r/s", "worst p99 ms", "shed",
-        ),
-        rows,
-    )
+        row = [
+            os.path.basename(source),
+            _run_kind(result),
+            _run_label(result),
+            result.seed,
+            f"{result.cycles_to_ms(result.horizon_cycles):.1f}",
+            sum(t.arrivals for t in result.tenants),
+            sum(t.completions for t in result.tenants),
+            f"{_goodput_rps(result):.1f}",
+            "-" if p99 is None else f"{p99:.2f}",
+            f"{_shed_rate(result):.2%}",
+        ]
+        if show_rejected:
+            row.append(sum(t.rejected for t in result.tenants))
+        if show_expired:
+            row.append(sum(t.expired for t in result.tenants))
+        rows.append(tuple(row))
+    headers = [
+        "run", "kind", "label", "seed", "horizon ms", "arrivals",
+        "done", "goodput r/s", "worst p99 ms", "shed",
+    ]
+    if show_rejected:
+        headers.append("rejected")
+    if show_expired:
+        headers.append("expired")
+    table = markdown_table(tuple(headers), rows)
     return f"## Runs\n\n{table}"
 
 
@@ -364,6 +380,41 @@ def _resilience_section(results: Sequence[Any]) -> Optional[str]:
         rows,
     )
     return f"## Resilience\n\n{table}"
+
+
+def _overload_section(results: Sequence[Any]) -> Optional[str]:
+    """Per-priority-class overload outcome for runs that recorded one."""
+    rows = []
+    for index, result in enumerate(results):
+        overload = getattr(result, "overload", None)
+        if overload is None:
+            continue
+        for stats in overload.classes:
+            rows.append(
+                (
+                    index,
+                    overload.queue_policy,
+                    f"p{stats.priority}",
+                    ", ".join(stats.tenants),
+                    stats.arrivals,
+                    stats.good,
+                    stats.rejected,
+                    stats.expired,
+                    stats.late,
+                    stats.retries,
+                    overload.brownout_steps,
+                )
+            )
+    if not rows:
+        return None
+    table = markdown_table(
+        (
+            "run", "discipline", "class", "tenants", "arrivals", "good",
+            "rejected", "expired", "late", "retries", "brownout steps",
+        ),
+        rows,
+    )
+    return f"## Overload control\n\n{table}"
 
 
 #: Series prefixes worth a sparkline, in display order; p99 converts
@@ -489,6 +540,7 @@ def render_run_report(
         _aggregate_section(results),
         _slo_section(results, slo),
         _resilience_section(results),
+        _overload_section(results),
         _timeseries_section(results),
     ]
     if history_path is not None:

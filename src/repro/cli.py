@@ -54,8 +54,97 @@ def _add_obs_args(p) -> None:
                    help="render a one-page Markdown report of the run")
 
 
+def _add_overload_args(p) -> None:
+    """Overload-control flags shared by ``serve`` and the fleet commands.
+
+    All default off; any active flag forces the reference event engine
+    under ``--engine auto`` (the fast path has no per-request client
+    state).  ``--retries 0`` means *unlimited* attempts — the naive
+    client that powers retry-storm demonstrations.
+    """
+    from .serve import JITTER_MODES, QUEUE_POLICIES
+
+    p.add_argument("--queue-policy", default="fifo",
+                   choices=list(QUEUE_POLICIES),
+                   help="queue discipline: fifo, edf (earliest deadline "
+                   "first), or priority (fresh work before retries)")
+    p.add_argument("--admission", type=float, default=None, metavar="RPS",
+                   help="per-tenant token-bucket admission rate (req/s); "
+                   "arrivals beyond the bucket are rejected at enqueue")
+    p.add_argument("--admission-burst", type=float, default=8.0,
+                   metavar="TOKENS",
+                   help="token-bucket burst size for --admission")
+    p.add_argument("--deadline-admission", action="store_true",
+                   help="reject at enqueue when the estimated queue wait "
+                   "already exceeds the tenant's deadline")
+    p.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                   help="request deadline; enables expiry shedding under "
+                   "edf/priority queues and deadline admission")
+    p.add_argument("--retries", type=int, default=None, metavar="N",
+                   help="closed-loop clients: retry rejected/dropped/lost "
+                   "requests up to N attempts (0 = unlimited)")
+    p.add_argument("--retry-backoff-ms", type=float, default=0.1,
+                   metavar="MS", help="base backoff between attempts")
+    p.add_argument("--retry-cap-ms", type=float, default=None, metavar="MS",
+                   help="backoff ceiling (default: 32x base)")
+    p.add_argument("--retry-jitter", default="decorrelated",
+                   choices=list(JITTER_MODES),
+                   help="backoff jitter mode")
+    p.add_argument("--hedge-ms", type=float, default=None, metavar="MS",
+                   help="send a hedged duplicate if no response within MS")
+    p.add_argument("--brownout-p99-ms", type=float, default=None,
+                   metavar="MS",
+                   help="brownout controller: shed lowest-priority traffic "
+                   "to keep the protected class's windowed p99 under MS")
+    p.add_argument("--brownout-window-ms", type=float, default=2.0,
+                   metavar="MS", help="brownout control-loop window")
+
+
+def _overload_spec(args: argparse.Namespace):
+    """Build an :class:`OverloadSpec` from the shared flags, or ``None``.
+
+    Returns ``None`` whenever every overload flag is at its default, so
+    plain invocations take the bit-exact fast path untouched.
+    """
+    from .serve import AdmissionPolicy, BrownoutPolicy, OverloadSpec, RetryPolicy
+
+    admission = None
+    if args.admission is not None or args.deadline_admission:
+        admission = AdmissionPolicy(
+            rate_rps=args.admission,
+            burst=args.admission_burst,
+            deadline_admission=args.deadline_admission,
+        )
+    retry = None
+    if args.retries is not None or args.hedge_ms is not None:
+        retry = RetryPolicy(
+            max_attempts=args.retries if args.retries is not None else 3,
+            base_ms=args.retry_backoff_ms,
+            cap_ms=args.retry_cap_ms,
+            jitter=args.retry_jitter,
+            hedge_ms=args.hedge_ms,
+        )
+    brownout = None
+    if args.brownout_p99_ms is not None:
+        brownout = BrownoutPolicy(
+            p99_ms=args.brownout_p99_ms,
+            window_ms=args.brownout_window_ms,
+        )
+    spec = OverloadSpec(
+        queue_policy=args.queue_policy,
+        admission=admission,
+        retry=retry,
+        brownout=brownout,
+        deadline_ms=args.deadline_ms,
+    )
+    return spec if spec.active else None
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
+    from .scenario import SCENARIO_NAMES
+    from .serve import ARRIVAL_KINDS, DROP_POLICIES
+    from .sim.fastpath import ENGINES
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -132,8 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rates", nargs="+", type=float, default=None,
                        metavar="RPS",
                        help="per-tenant rates (overrides --rate; one per network)")
+    serve.add_argument("--priorities", nargs="+", type=int, default=None,
+                       metavar="P",
+                       help="per-tenant priority classes (one per network; "
+                       "higher is more important — brownout sheds lowest "
+                       "first)")
     serve.add_argument("--process", default="poisson",
-                       choices=["constant", "poisson", "bursty"])
+                       choices=list(ARRIVAL_KINDS))
     serve.add_argument("--burstiness", type=float, default=4.0,
                        help="burst rate multiplier for --process bursty")
     serve.add_argument("--burst-period-ms", type=float, default=5.0,
@@ -144,7 +238,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--queue-depth", type=int, default=64)
     serve.add_argument("--policy", default="drop-tail",
-                       choices=["drop-tail", "drop-head"])
+                       choices=list(DROP_POLICIES))
     serve.add_argument("--frequency-mhz", type=float, default=100.0)
     serve.add_argument("--bandwidth-gbps", type=float, default=None)
     serve.add_argument("--max-clps", type=int, default=6)
@@ -155,7 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain", action="store_true",
                        help="stop arrivals at the horizon but serve out the queues")
     serve.add_argument("--engine", default="auto",
-                       choices=["auto", "fast", "event"],
+                       choices=list(ENGINES),
                        help="epoch-batched fast path or reference event loop "
                        "(bit-identical results; auto picks fast)")
     serve.add_argument("--load", metavar="FILE", default=None,
@@ -163,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--save", metavar="FILE", default=None,
                        help="write the ServeResult to a JSON file")
     _add_obs_args(serve)
+    _add_overload_args(serve)
 
     fleet = sub.add_parser(
         "fleet",
@@ -195,16 +290,18 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=list(BALANCER_NAMES))
         p.add_argument("--queue-depth", type=int, default=64)
         p.add_argument("--policy", default="drop-tail",
-                       choices=["drop-tail", "drop-head"])
+                       choices=list(DROP_POLICIES))
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--scenario", default=None, metavar="NAME",
+                       choices=list(SCENARIO_NAMES),
                        help="failure/surge drill from the scenario library "
                        "(see `repro scenario list`)")
         p.add_argument("--engine", default="auto",
-                       choices=["auto", "fast", "event"],
+                       choices=list(ENGINES),
                        help="epoch-batched fast path or reference event loop "
                        "(bit-identical results; auto picks fast for "
                        "scenario-free runs)")
+        _add_overload_args(p)
 
     fsim = fleet_sub.add_parser(
         "simulate", help="simulate traffic over a replicated fleet"
@@ -216,8 +313,13 @@ def build_parser() -> argparse.ArgumentParser:
     fsim.add_argument("--rates", nargs="+", type=float, default=None,
                       metavar="RPS",
                       help="per-tenant rates (overrides --rate)")
+    fsim.add_argument("--priorities", nargs="+", type=int, default=None,
+                      metavar="P",
+                      help="per-tenant priority classes (one per network; "
+                      "higher is more important — brownout sheds lowest "
+                      "first)")
     fsim.add_argument("--process", default="poisson",
-                      choices=["constant", "poisson", "bursty"])
+                      choices=list(ARRIVAL_KINDS))
     fsim.add_argument("--burstiness", type=float, default=4.0)
     fsim.add_argument("--burst-period-ms", type=float, default=5.0)
     fsim.add_argument("--duration-ms", type=float, default=100.0,
@@ -243,6 +345,10 @@ def build_parser() -> argparse.ArgumentParser:
     fplan.add_argument("--max-drop-rate", type=float, default=0.0)
     fplan.add_argument("--min-throughput", type=float, default=None,
                        metavar="RPS")
+    fplan.add_argument("--min-goodput", type=float, default=None,
+                       metavar="RPS",
+                       help="floor on deadline-aware goodput (completions "
+                       "minus late ones), req/s")
     fplan.add_argument("--max-replicas", type=int, default=64)
     fplan.add_argument("--duration-ms", type=float, default=100.0)
     fplan.add_argument("--redundancy", type=int, default=0, metavar="N",
@@ -379,10 +485,10 @@ def build_parser() -> argparse.ArgumentParser:
     rank.add_argument("--duration-ms", type=float, default=200.0)
     rank.add_argument("--seed", type=int, default=0)
     rank.add_argument("--process", default="poisson",
-                      choices=["constant", "poisson", "bursty"])
+                      choices=list(ARRIVAL_KINDS))
     rank.add_argument("--queue-depth", type=int, default=64)
     rank.add_argument("--policy", default="drop-tail",
-                      choices=["drop-tail", "drop-head"])
+                      choices=list(DROP_POLICIES))
 
     cost = dse_sub.add_parser(
         "cost",
@@ -406,7 +512,7 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=list(BALANCER_NAMES))
     cost.add_argument("--queue-depth", type=int, default=64)
     cost.add_argument("--policy", default="drop-tail",
-                      choices=["drop-tail", "drop-head"])
+                      choices=list(DROP_POLICIES))
 
     resil = dse_sub.add_parser(
         "resilience",
@@ -435,7 +541,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=list(BALANCER_NAMES))
     resil.add_argument("--queue-depth", type=int, default=64)
     resil.add_argument("--policy", default="drop-tail",
-                       choices=["drop-tail", "drop-head"])
+                       choices=list(DROP_POLICIES))
     return parser
 
 
@@ -621,6 +727,13 @@ def _tenant_specs(args: argparse.Namespace, tenant_names, cycles_per_second):
     )
     if len(rates) != len(tenant_names):
         raise ValueError(f"{len(tenant_names)} tenants but {len(rates)} rates")
+    priorities = getattr(args, "priorities", None)
+    if priorities is None:
+        priorities = [0] * len(tenant_names)
+    if len(priorities) != len(tenant_names):
+        raise ValueError(
+            f"{len(tenant_names)} tenants but {len(priorities)} priorities"
+        )
     return [
         TenantSpec(
             name=name,
@@ -630,8 +743,9 @@ def _tenant_specs(args: argparse.Namespace, tenant_names, cycles_per_second):
                 burstiness=args.burstiness,
                 period_cycles=args.burst_period_ms * 1e-3 * cycles_per_second,
             ),
+            priority=priority,
         )
-        for name, rate in zip(tenant_names, rates)
+        for name, rate, priority in zip(tenant_names, rates, priorities)
     ]
 
 
@@ -718,6 +832,7 @@ def _cmd_serve(args: argparse.Namespace) -> str:
             drain=args.drain,
             engine=args.engine,
             obs=obs,
+            overload=_overload_spec(args),
         )
     except (ValueError, OptimizationError) as exc:
         raise SystemExit(f"repro serve: error: {exc}") from None
@@ -784,6 +899,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                 scenario=args.scenario,
                 engine=args.engine,
                 obs=obs,
+                overload=_overload_spec(args),
             )
             if args.save:
                 from .core.serialize import dump_fleet_result
@@ -819,6 +935,8 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                 p99_ms=args.p99_ms,
                 max_drop_rate=args.max_drop_rate,
                 min_throughput_rps=args.min_throughput,
+                deadline_ms=args.deadline_ms,
+                min_goodput_rps=args.min_goodput,
             )
             plan = plan_capacity(
                 device,
@@ -834,6 +952,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                 scenario=args.scenario,
                 redundancy=args.redundancy,
                 engine=args.engine,
+                overload=_overload_spec(args),
             )
             lines = [plan.format()]
             if plan.meets and plan.result is not None:
@@ -870,6 +989,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             scenario=args.scenario,
             engine=args.engine,
             trace=recorder,
+            overload=_overload_spec(args),
         )
         lines = [trace.format()]
         if recorder is not None:

@@ -42,6 +42,8 @@ __all__ = [
     "timeseries_from_dict",
     "scenario_spec_to_dict",
     "scenario_spec_from_dict",
+    "slo_spec_to_dict",
+    "slo_spec_from_dict",
     "SCHEMA_VERSION",
     "SERVE_SCHEMA_VERSION",
     "FLEET_SCHEMA_VERSION",
@@ -189,8 +191,40 @@ def serve_result_to_dict(result: "ServeResult") -> Dict[str, Any]:
     # records, so the optional telemetry key is dropped when empty.
     if record.get("timeseries") is None:
         record.pop("timeseries", None)
+    _prune_overload_keys(record)
     record["schema"] = SERVE_SCHEMA_VERSION
     return record
+
+
+#: TenantStats fields introduced by overload control.  Every one is
+#: zero for a run with no overload feature active, and every loader
+#: defaults an absent key to zero — so dropping zero-valued keys keeps
+#: plain records byte-identical to pre-overload records without losing
+#: information.
+_OVERLOAD_TENANT_KEYS = (
+    "rejected", "expired", "retries", "hedges", "late", "priority",
+)
+
+
+def _prune_overload_keys(record: Dict[str, Any]) -> None:
+    """Strip overload-era keys that carry no information, in place.
+
+    Applies the same contract as the optional ``timeseries`` key to the
+    overload additions: a record written from an overload-free run must
+    be byte-identical to one written before overload control existed.
+    Mutates ``record`` (a serve- or fleet-result dict from ``asdict``).
+    """
+    if record.get("overload") is None:
+        record.pop("overload", None)
+    for tenant in record.get("tenants", ()):
+        for key in _OVERLOAD_TENANT_KEYS:
+            if tenant.get(key) == 0:
+                tenant.pop(key, None)
+    for replica in record.get("replicas", ()):
+        for tenant in replica.get("tenants", ()):
+            for key in _OVERLOAD_TENANT_KEYS:
+                if tenant.get(key) == 0:
+                    tenant.pop(key, None)
 
 
 def _tenant_stats_from_dict(entry: Dict[str, Any]) -> "TenantStats":
@@ -216,6 +250,14 @@ def _tenant_stats_from_dict(entry: Dict[str, Any]) -> "TenantStats":
         # Absent in pre-scenario records: those runs could not lose
         # requests to failures, so 0 is the true historical value.
         lost=int(entry.get("lost", 0)),
+        # Absent in pre-overload records (and in overload-free records,
+        # which prune zero-valued keys); 0 is the true historical value.
+        rejected=int(entry.get("rejected", 0)),
+        expired=int(entry.get("expired", 0)),
+        retries=int(entry.get("retries", 0)),
+        hedges=int(entry.get("hedges", 0)),
+        late=int(entry.get("late", 0)),
+        priority=int(entry.get("priority", 0)),
     )
 
 
@@ -286,7 +328,18 @@ def serve_result_from_dict(data: Dict[str, Any]) -> "ServeResult":
         tenants=tuple(tenants),
         clp_busy_fraction=tuple(float(f) for f in data["clp_busy_fraction"]),
         timeseries=timeseries_from_dict(data.get("timeseries")),
+        overload=_overload_from_dict(data.get("overload")),
     )
+
+
+def _overload_from_dict(
+    data: Optional[Dict[str, Any]],
+) -> Optional["OverloadReport"]:
+    if data is None:
+        return None
+    from ..serve.overload import overload_report_from_dict
+
+    return overload_report_from_dict(data)
 
 
 def fleet_result_to_dict(result: "FleetResult") -> Dict[str, Any]:
@@ -302,6 +355,7 @@ def fleet_result_to_dict(result: "FleetResult") -> Dict[str, Any]:
     # Same contract as serve records: no telemetry key unless observed.
     if record.get("timeseries") is None:
         record.pop("timeseries", None)
+    _prune_overload_keys(record)
     record["schema"] = FLEET_SCHEMA_VERSION
     return record
 
@@ -350,6 +404,7 @@ def fleet_result_from_dict(data: Dict[str, Any]) -> "FleetResult":
         ),
         resilience=_resilience_from_dict(data.get("resilience")),
         timeseries=timeseries_from_dict(data.get("timeseries")),
+        overload=_overload_from_dict(data.get("overload")),
     )
 
 
@@ -418,6 +473,43 @@ def scenario_spec_from_dict(data: Dict[str, Any]) -> "ScenarioSpec":
             f"expected {SCENARIO_SCHEMA_VERSION}"
         )
     return scenario_from_dict(data)
+
+
+def slo_spec_to_dict(slo: "SLOSpec") -> Dict[str, Any]:
+    """JSON-ready record of an SLO contract.
+
+    The overload-era clauses (``deadline_ms``, ``min_goodput_rps``) are
+    emitted only when set, so a spec using none of them serializes to
+    exactly the record a pre-overload writer would have produced — and
+    a legacy record round-trips byte-identically.
+    """
+    record: Dict[str, Any] = {
+        "p99_ms": slo.p99_ms,
+        "max_drop_rate": slo.max_drop_rate,
+        "min_throughput_rps": slo.min_throughput_rps,
+    }
+    if slo.deadline_ms is not None:
+        record["deadline_ms"] = slo.deadline_ms
+    if slo.min_goodput_rps is not None:
+        record["min_goodput_rps"] = slo.min_goodput_rps
+    return record
+
+
+def slo_spec_from_dict(data: Dict[str, Any]) -> "SLOSpec":
+    """Rebuild an SLO spec; tolerant of records missing newer clauses."""
+    from ..serve.slo import SLOSpec
+
+    def opt(key: str) -> Optional[float]:
+        value = data.get(key)
+        return None if value is None else float(value)
+
+    return SLOSpec(
+        p99_ms=opt("p99_ms"),
+        max_drop_rate=float(data.get("max_drop_rate", 0.0)),
+        min_throughput_rps=opt("min_throughput_rps"),
+        deadline_ms=opt("deadline_ms"),
+        min_goodput_rps=opt("min_goodput_rps"),
+    )
 
 
 def dump_fleet_result(result: "FleetResult", path: str) -> None:

@@ -33,6 +33,7 @@ from typing import (
 
 if TYPE_CHECKING:
     from ..obs.telemetry import ObsSpec, TimeSeries
+    from ..serve.overload import OverloadController, OverloadSpec
 
 from ..scenario.faults import Incident, Outage
 from ..scenario.library import ScenarioSpec, get_scenario
@@ -56,6 +57,8 @@ class Replica:
         tenants: Sequence[TenantSpec],
         queue_depth: int,
         policy: str,
+        overload: Optional["OverloadSpec"] = None,
+        deadline_cycles: Optional[Dict[str, Optional[float]]] = None,
     ):
         self.spec = spec
         self.index = index
@@ -77,9 +80,21 @@ class Replica:
             if tenant.name not in plans:
                 continue
             depth, clp_cycles = plans[tenant.name]
-            self.states[tenant.name] = TenantState(
-                tenant, depth, clp_cycles, queue_depth, policy
-            )
+            if overload is not None:
+                from ..serve.overload import OverloadTenantState
+
+                self.states[tenant.name] = OverloadTenantState(
+                    tenant, depth, clp_cycles, queue_depth, policy,
+                    queue_policy=overload.queue_policy,
+                    epoch=self.epoch,
+                    deadline_cycles=(
+                        deadline_cycles or {}
+                    ).get(tenant.name),
+                )
+            else:
+                self.states[tenant.name] = TenantState(
+                    tenant, depth, clp_cycles, queue_depth, policy
+                )
 
     @property
     def outstanding(self) -> int:
@@ -119,6 +134,10 @@ def _aggregate_tenant(
     states: Sequence[TenantState],
     elapsed: float,
     unroutable: int = 0,
+    gate_arrivals: int = 0,
+    gate_rejected: int = 0,
+    gate_retries: int = 0,
+    gate_hedges: int = 0,
 ) -> TenantStats:
     """Fleet-wide view of one tenant: merge raw samples, then reduce.
 
@@ -126,7 +145,10 @@ def _aggregate_tenant(
     on during an outage — they never reached a replica's state, so the
     fleet books them here, once as an arrival and once as lost, keeping
     the conservation invariant (arrivals = completions + drops + lost +
-    in-flight) intact.
+    rejected + expired + in-flight) intact.  The ``gate_*`` counters are
+    the overload controller's front-door ledger — token-bucket and
+    brownout rejections equally never landed on a replica, so they are
+    folded in here the same way (once as an arrival, once as rejected).
     """
     latencies: List[float] = []
     for state in states:
@@ -140,7 +162,11 @@ def _aggregate_tenant(
     return TenantStats(
         name=spec.name,
         offered_rate_per_cycle=spec.process.mean_rate,
-        arrivals=sum(state.arrivals for state in states) + unroutable,
+        arrivals=(
+            sum(state.arrivals for state in states)
+            + unroutable
+            + gate_arrivals
+        ),
         completions=completions,
         drops=sum(state.drops for state in states),
         in_flight=sum(
@@ -153,6 +179,21 @@ def _aggregate_tenant(
         peak_queue_depth=max(state.peak_queue for state in states),
         steady_rate_per_cycle=steady,
         lost=sum(state.lost for state in states) + unroutable,
+        rejected=(
+            sum(getattr(state, "rejected", 0) for state in states)
+            + gate_rejected
+        ),
+        expired=sum(getattr(state, "expired", 0) for state in states),
+        retries=(
+            sum(getattr(state, "retries", 0) for state in states)
+            + gate_retries
+        ),
+        hedges=(
+            sum(getattr(state, "hedges", 0) for state in states)
+            + gate_hedges
+        ),
+        late=sum(getattr(state, "late", 0) for state in states),
+        priority=spec.priority,
     )
 
 
@@ -237,6 +278,7 @@ class ClusterSimulator:
         scenario: Union[str, ScenarioSpec, None] = None,
         engine: str = "auto",
         obs: Optional["ObsSpec"] = None,
+        overload: Optional["OverloadSpec"] = None,
     ) -> FleetResult:
         """One seeded traffic window over the whole fleet.
 
@@ -277,6 +319,14 @@ class ClusterSimulator:
         an explicit ``engine="fast"`` keeps the fast path where it
         applies and reports ``timeseries=None``, and raises if a trace
         was requested.  ``obs=None`` (default) changes nothing.
+
+        ``overload`` (an :class:`~repro.serve.overload.OverloadSpec`)
+        switches on admission control, queue disciplines, client
+        retries, and/or brownout — see :mod:`repro.serve.overload`.
+        When ``None``, a scenario that carries its own overload spec
+        (e.g. ``retry-storm``) supplies it.  Active overload forces the
+        event engine under ``auto`` (``"fast"`` raises); with every
+        feature off, results are bit-identical to ``overload=None``.
         """
         from ..sim.engine import Simulator
         from ..sim.fastpath import (
@@ -284,12 +334,25 @@ class ClusterSimulator:
             resolve_engine,
             run_fleet_fast,
         )
+        from ..serve.overload import OverloadController, OverloadSpec
 
         if duration_cycles <= 0:
             raise ValueError("duration_cycles must be positive")
         if isinstance(scenario, str):
             scenario = get_scenario(scenario)
-        concrete = resolve_engine(engine, has_scenario=scenario is not None)
+        if overload is None and scenario is not None:
+            overload = scenario.overload
+        overload_active = (overload is not None and overload.active) or any(
+            spec.deadline_ms is not None for spec in self.tenants
+        )
+        ospec: Optional[OverloadSpec] = None
+        if overload_active:
+            ospec = overload if overload is not None else OverloadSpec()
+        concrete = resolve_engine(
+            engine,
+            has_scenario=scenario is not None,
+            has_overload=overload_active,
+        )
         obs_active = obs is not None and obs.active
         if obs_active and concrete == "fast":
             if engine == "fast" and obs.trace is not None:
@@ -301,6 +364,20 @@ class ClusterSimulator:
                 # trace; "auto" prefers observability over speed.
                 concrete = "event"
 
+        deadline_cycles: Optional[Dict[str, Optional[float]]] = None
+        if ospec is not None:
+            cycles_per_ms = self.frequency_mhz * 1e3
+            deadline_cycles = {}
+            for spec in self.tenants:
+                ms = (
+                    spec.deadline_ms
+                    if spec.deadline_ms is not None
+                    else ospec.deadline_ms
+                )
+                deadline_cycles[spec.name] = (
+                    None if ms is None else ms * cycles_per_ms
+                )
+
         replicas: List[Replica] = []
         for device in self.devices:
             for _ in range(device.count):
@@ -311,6 +388,8 @@ class ClusterSimulator:
                         self.tenants,
                         self.queue_depth,
                         self.policy,
+                        overload=ospec,
+                        deadline_cycles=deadline_cycles,
                     )
                 )
         eligible: Dict[str, Tuple[int, ...]] = {
@@ -377,6 +456,52 @@ class ClusterSimulator:
         unroutable: Dict[str, int] = {spec.name: 0 for spec in self.tenants}
         #: (finish_cycles, latency_cycles) fleet-wide, for resilience.
         samples: List[Tuple[float, float]] = []
+        tenant_index = {
+            spec.name: index for index, spec in enumerate(self.tenants)
+        }
+
+        controller: Optional[OverloadController] = None
+        if ospec is not None:
+            # The controller is the fleet's front door: every attempt
+            # (fresh, retry, hedge) passes its gates, then routes
+            # through the balancer exactly as an ungated arrival would.
+            def route_request(
+                name: str,
+            ) -> Optional[Tuple[TenantState, Optional[int]]]:
+                targets = eligible[name]
+                if have_faults:
+                    targets = tuple(
+                        i for i in targets if replicas[i].healthy
+                    )
+                    if not targets:
+                        unroutable[name] += 1
+                        if tracer is not None:
+                            tracer.request_unroutable(name, sim.now)
+                        return None
+                choice = balancer.route(name, targets, sim.now)
+                return (replicas[choice].states[name], choice)
+
+            def deliver(index: int, req) -> None:
+                controller.arrive(
+                    index,
+                    req,
+                    lambda index=index: route_request(
+                        self.tenants[index].name
+                    ),
+                )
+
+            controller = OverloadController(
+                ospec,
+                self.tenants,
+                horizon=horizon,
+                frequency_mhz=self.frequency_mhz,
+                seed=seed,
+                schedule_at=sim.schedule_at,
+                now=lambda: sim.now,
+                deliver=deliver,
+                tracer=tracer,
+                recorder=recorder,
+            )
 
         def start_stream(spec: TenantSpec, index: int) -> None:
             # Same RNG keying as the single-device simulator: the fleet
@@ -399,6 +524,14 @@ class ClusterSimulator:
                     return
 
                 def fire() -> None:
+                    if controller is not None:
+                        controller.arrive(
+                            index,
+                            controller.make_request(sim.now),
+                            lambda: route_request(spec.name),
+                        )
+                        pump(count + 1)
+                        return
                     targets = eligible[spec.name]
                     if have_faults:
                         targets = tuple(
@@ -465,13 +598,21 @@ class ClusterSimulator:
                     continue
                 state._touch(sim.now)
                 state.queue.clear()
-                for arrival in evacuated:
+                t_idx = tenant_index[state.spec.name]
+                for item in evacuated:
+                    # ``item`` is an arrival time (plain runs) or a
+                    # live request object (overload runs).
                     if failure_policy == "lost":
                         state.lost += 1
                         if tracer is not None:
                             tracer.request_evacuated(
                                 state.spec.name, replica.index, sim.now,
                                 outcome="lost",
+                            )
+                        if controller is not None:
+                            item.done = True
+                            controller.client_retry(
+                                t_idx, item, reason="lost"
                             )
                         continue
                     rescue = tuple(
@@ -486,16 +627,37 @@ class ClusterSimulator:
                                 state.spec.name, replica.index, sim.now,
                                 outcome="lost",
                             )
+                        if controller is not None:
+                            item.done = True
+                            controller.client_retry(
+                                t_idx, item, reason="lost"
+                            )
                         continue
                     choice = balancer.route(
                         state.spec.name, rescue, sim.now
                     )
                     target = replicas[choice].states[state.spec.name]
-                    if tracer is None:
-                        target.requeue(arrival, sim.now)
+                    if controller is not None:
+                        victim = target.requeue(item, sim.now)
+                        if tracer is not None:
+                            tracer.request_evacuated(
+                                state.spec.name, replica.index, sim.now,
+                                outcome=(
+                                    "dropped"
+                                    if victim is not None
+                                    else "requeued"
+                                ),
+                                target=choice,
+                            )
+                        if victim is not None:
+                            controller.client_retry(
+                                t_idx, victim, reason="dropped"
+                            )
+                    elif tracer is None:
+                        target.requeue(item, sim.now)
                     else:
                         before = target.drops
-                        target.requeue(arrival, sim.now)
+                        target.requeue(item, sim.now)
                         tracer.request_evacuated(
                             state.spec.name, replica.index, sim.now,
                             outcome=(
@@ -535,12 +697,52 @@ class ClusterSimulator:
             if record:
                 samples.append((sim.now, sim.now - arrival))
 
+        def finish_overload(
+            replica: Replica, state: TenantState, req, gen: int, t_idx: int
+        ) -> None:
+            if replica.generation != gen:
+                # The board died after admission: the loss was booked at
+                # fail time; the client notices around when the reply
+                # was due and may retry.
+                controller.client_retry(t_idx, req, reason="lost")
+                return
+            controller.complete(t_idx, state, req)
+            if tracer is not None:
+                tracer.request_completed(
+                    state.spec.name, replica.index, sim.now, req.arrival
+                )
+            if record:
+                samples.append((sim.now, sim.now - req.arrival))
+
         def make_boundary(replica: Replica):
             epoch = replica.epoch
 
             def boundary(count: int = 0) -> None:
                 if replica.healthy:
                     for state in replica.states.values():
+                        if controller is not None:
+                            t_idx = tenant_index[state.spec.name]
+                            req = controller.dispatch(
+                                t_idx, state, replica.index
+                            )
+                            if req is None:
+                                continue
+                            if tracer is not None:
+                                tracer.request_dispatched(
+                                    state.spec.name, replica.index,
+                                    sim.now, req.arrival,
+                                )
+                            for clp_index, cycles in enumerate(
+                                state.clp_cycles
+                            ):
+                                replica.clp_busy[clp_index] += cycles
+                            sim.schedule(
+                                state.depth_epochs * epoch,
+                                lambda state=state, req=req, t_idx=t_idx, gen=replica.generation: finish_overload(
+                                    replica, state, req, gen, t_idx
+                                ),
+                            )
+                            continue
                         arrival = state.admit(sim.now)
                         if arrival is None:
                             continue
@@ -560,12 +762,17 @@ class ClusterSimulator:
                 # Exact grid ``count * epoch`` — see the single-device
                 # boundary chain; chained ``now + epoch`` sums drift.
                 upcoming = (count + 1) * epoch
-                pending = any(
-                    state.queue for state in replica.states.values()
-                ) or any(
-                    stream_open[index]
-                    for index, spec in enumerate(self.tenants)
-                    if replica.serves(spec.name)
+                pending = (
+                    any(state.queue for state in replica.states.values())
+                    or any(
+                        stream_open[index]
+                        for index, spec in enumerate(self.tenants)
+                        if replica.serves(spec.name)
+                    )
+                    or (
+                        controller is not None
+                        and controller.pending_deliveries > 0
+                    )
                 )
                 if upcoming <= horizon or (drain and pending):
                     sim.schedule_at(upcoming, lambda: boundary(count + 1))
@@ -643,6 +850,7 @@ class ClusterSimulator:
             timeseries=(
                 recorder.finalize() if recorder is not None else None
             ),
+            controller=controller,
         )
 
     def _finalize(
@@ -658,6 +866,7 @@ class ClusterSimulator:
         unroutable: Dict[str, int],
         samples: List[Tuple[float, float]],
         timeseries: Optional["TimeSeries"] = None,
+        controller: Optional["OverloadController"] = None,
     ) -> FleetResult:
         """Reduce final replica state to a :class:`FleetResult` (engine-shared)."""
         aggregates = tuple(
@@ -670,6 +879,26 @@ class ClusterSimulator:
                 ],
                 elapsed,
                 unroutable[spec.name],
+                gate_arrivals=(
+                    controller.gate_arrivals[spec.name]
+                    if controller is not None
+                    else 0
+                ),
+                gate_rejected=(
+                    controller.gate_rejected[spec.name]
+                    if controller is not None
+                    else 0
+                ),
+                gate_retries=(
+                    controller.gate_retries[spec.name]
+                    if controller is not None
+                    else 0
+                ),
+                gate_hedges=(
+                    controller.gate_hedges[spec.name]
+                    if controller is not None
+                    else 0
+                ),
             )
             for spec in self.tenants
         )
@@ -725,6 +954,9 @@ class ClusterSimulator:
             incidents=incidents,
             resilience=resilience,
             timeseries=timeseries,
+            overload=(
+                controller.report() if controller is not None else None
+            ),
         )
 
 
@@ -742,6 +974,7 @@ def simulate_fleet(
     scenario: Union[str, ScenarioSpec, None] = None,
     engine: str = "auto",
     obs: Optional["ObsSpec"] = None,
+    overload: Optional["OverloadSpec"] = None,
 ) -> FleetResult:
     """One-shot convenience wrapper around :class:`ClusterSimulator`."""
     cluster = ClusterSimulator(
@@ -759,4 +992,5 @@ def simulate_fleet(
         scenario=scenario,
         engine=engine,
         obs=obs,
+        overload=overload,
     )

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 
 if TYPE_CHECKING:  # annotation only; results never construct telemetry
     from ..obs.telemetry import TimeSeries
+    from ..serve.overload import OverloadReport
 
 from ..scenario.faults import Incident
 from ..scenario.resilience import ResilienceReport, WindowMetrics
@@ -100,6 +101,10 @@ class FleetResult:
     #: when the run was observed; ``None`` keeps unobserved results
     #: byte-identical to pre-obs records (fast-path runs report ``None``).
     timeseries: Optional["TimeSeries"] = None
+    #: Overload-control report (per-priority windowed goodput, brownout
+    #: shedding); ``None`` whenever no overload feature was active so
+    #: plain runs stay byte-identical to pre-overload records.
+    overload: Optional["OverloadReport"] = None
 
     # ------------------------------------------------------------ conversions
     @property
@@ -137,6 +142,16 @@ class FleetResult:
     def total_lost(self) -> int:
         """Requests destroyed by failures, fleet-wide (see ``TenantStats.lost``)."""
         return sum(t.lost for t in self.tenants)
+
+    @property
+    def total_rejected(self) -> int:
+        """Arrivals turned away by admission control, fleet-wide."""
+        return sum(t.rejected for t in self.tenants)
+
+    @property
+    def total_expired(self) -> int:
+        """Queued requests shed past-deadline at dispatch, fleet-wide."""
+        return sum(t.expired for t in self.tenants)
 
     # --------------------------------------------------------------- capacity
     def tenant_capacity_rps(self, name: str) -> float:
@@ -178,6 +193,10 @@ class FleetResult:
         # was losing traffic to dead boards.  A separate ``lost`` column
         # appears whenever failures actually destroyed requests.
         show_lost = self.total_lost > 0
+        # Overload columns follow the same rule: present only when the
+        # run actually produced the class, so plain reports are stable.
+        show_rejected = self.total_rejected > 0
+        show_expired = self.total_expired > 0
         tenant_rows = []
         for t in self.tenants:
             if t.latency is None:
@@ -199,6 +218,10 @@ class FleetResult:
             ]
             if show_lost:
                 row.append(t.lost)
+            if show_rejected:
+                row.append(t.rejected)
+            if show_expired:
+                row.append(t.expired)
             tenant_rows.append(tuple(row))
         headers = [
             "tenant", "offered r/s", "arrivals", "done", "goodput r/s",
@@ -206,6 +229,10 @@ class FleetResult:
         ]
         if show_lost:
             headers.append("lost")
+        if show_rejected:
+            headers.append("rejected")
+        if show_expired:
+            headers.append("expired")
         tenant_table = render_table(
             tuple(headers),
             tenant_rows,
@@ -253,7 +280,21 @@ class FleetResult:
         report = f"{tenant_table}\n\n{replica_table}\n{window}"
         if self.scenario is not None:
             report += f"\n{self._format_resilience()}"
+        if self.overload is not None:
+            report += f"\n{self._format_overload()}"
         return report
+
+    def _format_overload(self) -> str:
+        o = self.overload
+        classes = "  ".join(
+            f"p{c.priority}: good={c.good} rejected={c.rejected} "
+            f"expired={c.expired} retries={c.retries}"
+            for c in o.classes
+        )
+        line = f"overload: discipline={o.queue_policy}  {classes}"
+        if o.brownout_steps:
+            line += f"  brownout-steps={o.brownout_steps}"
+        return line
 
     def _format_resilience(self) -> str:
         lines = [

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple, Union
 if TYPE_CHECKING:
     from ..obs.telemetry import TimeSeries
     from ..obs.trace import TraceRecorder
+    from ..serve.overload import OverloadSpec
 
 from ..scenario.library import ScenarioSpec, get_scenario
 from ..serve.simulator import TenantSpec, pipeline_latency_cycles
@@ -43,11 +44,19 @@ __all__ = [
 ]
 
 
-def _fleet_tenants(device: DeviceSpec, rate_per_cycle: float) -> List[TenantSpec]:
+def _fleet_tenants(
+    device: DeviceSpec,
+    rate_per_cycle: float,
+    deadline_ms: Optional[float] = None,
+) -> List[TenantSpec]:
     from ..serve.arrivals import make_arrival_process
 
     return [
-        TenantSpec(name, make_arrival_process("poisson", rate_per_cycle))
+        TenantSpec(
+            name,
+            make_arrival_process("poisson", rate_per_cycle),
+            deadline_ms=deadline_ms,
+        )
         for name in device.networks
     ]
 
@@ -145,6 +154,7 @@ def plan_capacity(
     scenario: Union[str, ScenarioSpec, None] = None,
     redundancy: int = 0,
     engine: str = "auto",
+    overload: Optional["OverloadSpec"] = None,
 ) -> CapacityPlan:
     """Minimum replicas of ``device`` meeting ``slo`` at ``rate_rps``.
 
@@ -203,7 +213,9 @@ def plan_capacity(
         )
     cycles_per_second = frequency_mhz * 1e6
     if tenants is None:
-        tenants = _fleet_tenants(device, rate_rps / cycles_per_second)
+        tenants = _fleet_tenants(
+            device, rate_rps / cycles_per_second, deadline_ms=slo.deadline_ms
+        )
     duration_cycles = _window_cycles(
         device, duration_ms * 1e-3 * cycles_per_second
     )
@@ -226,6 +238,7 @@ def plan_capacity(
                 drain=True,
                 scenario=scenario,
                 engine=engine,
+                overload=overload,
             )
             evaluations[count] = (result, evaluate_slo(result, slo))
         return evaluations[count]
@@ -467,6 +480,7 @@ def autoscale(
     scenario: Union[str, ScenarioSpec, None] = None,
     engine: str = "auto",
     trace: Optional["TraceRecorder"] = None,
+    overload: Optional["OverloadSpec"] = None,
 ) -> AutoscaleTrace:
     """Step a reactive autoscaler across per-window offered rates.
 
@@ -522,6 +536,7 @@ def autoscale(
             drain=True,
             scenario=scenario,
             engine=engine,
+            overload=overload,
         )
         action = policy.decide(result)
         if trace is not None and action != 0:

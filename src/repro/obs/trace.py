@@ -147,6 +147,73 @@ class TraceRecorder:
             cat="fault",
         )
 
+    # ------------------------------------------------------ overload control
+    def request_rejected(
+        self,
+        tenant: str,
+        replica: Optional[int],
+        now: float,
+        *,
+        reason: str = "admission",
+    ) -> None:
+        """An arrival was turned away at admission (never queued).
+
+        ``reason`` is ``"admission"`` (token bucket), ``"deadline"``
+        (queue-deadline admission), or ``"brownout"`` (a shed class).
+        """
+        self._emit(
+            "i", "reject", now, self._track(tenant, replica),
+            cat="overload", args={"reason": reason},
+        )
+
+    def request_expired(
+        self, tenant: str, replica: Optional[int], now: float
+    ) -> None:
+        """A queued request's deadline passed; it was shed at dispatch.
+
+        Under non-FIFO disciplines span identity is approximate: the
+        *oldest* open queued span is closed, which is exact for the
+        expiry-prone head-of-line work EDF sheds.
+        """
+        self._close_queued(
+            (tenant, replica), now, {"outcome": "expired"}
+        )
+
+    def request_retry(
+        self,
+        tenant: str,
+        now: float,
+        *,
+        attempt: int,
+        delay_cycles: float,
+        reason: str = "",
+    ) -> None:
+        """A client scheduled a retry attempt after a backoff delay."""
+        args: Dict[str, Any] = {
+            "attempt": attempt, "delay_cycles": delay_cycles,
+        }
+        if reason:
+            args["reason"] = reason
+        self._emit(
+            "i", "retry", now, self._track(tenant, None),
+            cat="overload", args=args,
+        )
+
+    def request_hedged(self, tenant: str, now: float) -> None:
+        """A hedge duplicate fired for a still-queued request."""
+        self._emit(
+            "i", "hedge", now, self._track(tenant, None), cat="overload"
+        )
+
+    def brownout_step(
+        self, now: float, *, action: str, shed: List[int]
+    ) -> None:
+        """The brownout controller shed or restored a priority class."""
+        self._emit(
+            "i", "brownout", now, "brownout",
+            cat="overload", args={"action": action, "shed": shed},
+        )
+
     # ------------------------------------------------------ failure handling
     def pipeline_killed(
         self, tenant: str, replica: Optional[int], now: float

@@ -26,6 +26,14 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..serve.arrivals import ArrivalProcess
+from ..serve.overload import (
+    AdmissionPolicy,
+    BrownoutPolicy,
+    OverloadSpec,
+    RetryPolicy,
+    overload_spec_from_dict,
+    overload_spec_to_dict,
+)
 from .faults import (
     FAILURE_POLICIES,
     FaultSpec,
@@ -225,6 +233,10 @@ class ScenarioSpec:
     #: What happens to a dead replica's *queued* requests; in-pipeline
     #: work is always lost with the board.  See ``FAILURE_POLICIES``.
     failure_policy: str = "requeue"
+    #: Overload-control configuration the drill runs under (client
+    #: retries, admission, discipline, brownout).  A run-level
+    #: ``overload=`` argument wins over the scenario's.
+    overload: Optional[OverloadSpec] = None
 
     def __post_init__(self) -> None:
         if self.failure_policy not in FAILURE_POLICIES:
@@ -236,7 +248,11 @@ class ScenarioSpec:
     @property
     def is_noop(self) -> bool:
         """True when running this scenario must be bit-exact to no scenario."""
-        return not self.faults and self.surge is None
+        return (
+            not self.faults
+            and self.surge is None
+            and (self.overload is None or not self.overload.active)
+        )
 
     def with_redundancy(
         self, count: int, *, start: float = 0.35, duration: float = 0.3
@@ -322,6 +338,49 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
             ),
             faults=(RandomFaults(mttf=0.5, mttr=0.05),),
         ),
+        ScenarioSpec(
+            name="retry-storm",
+            description=(
+                "Half the fleet fails for a transient window while naive "
+                "clients retry without bound (fixed short backoff, no "
+                "jitter, no admission control) — the metastable-collapse "
+                "drill: the retry pool can keep queues pinned long after "
+                "the fault clears."
+            ),
+            faults=(RackFailure(fraction=0.5, start=0.25, duration=0.15),),
+            overload=OverloadSpec(
+                queue_policy="fifo",
+                retry=RetryPolicy(
+                    max_attempts=0,
+                    backoff="fixed",
+                    base_ms=0.05,
+                    cap_ms=0.05,
+                    jitter="none",
+                ),
+            ),
+        ),
+        ScenarioSpec(
+            name="brownout-drill",
+            description=(
+                "Flash crowd under EDF scheduling, deadline admission, "
+                "bounded jittered retries, and a brownout controller "
+                "shedding the lowest priority classes to hold the top "
+                "class's p99 — the graceful-degradation drill."
+            ),
+            surge=FlashCrowdShape(multiplier=4.0, start=0.3, duration=0.3),
+            overload=OverloadSpec(
+                queue_policy="edf",
+                admission=AdmissionPolicy(deadline_admission=True),
+                retry=RetryPolicy(
+                    max_attempts=2,
+                    base_ms=0.1,
+                    cap_ms=1.0,
+                    jitter="decorrelated",
+                ),
+                brownout=BrownoutPolicy(p99_ms=2.0, window_ms=1.0),
+                deadline_ms=2.0,
+            ),
+        ),
     )
 }
 
@@ -356,6 +415,18 @@ def describe_scenario(spec: ScenarioSpec) -> str:
         }
         detail = ", ".join(f"{k}={v}" for k, v in sorted(params.items()))
         lines.append(f"  surge: {spec.surge.kind}: {detail}")
+    if spec.overload is not None:
+        lines.append("  overload:")
+        record = overload_spec_to_dict(spec.overload)
+        lines.append(f"    - discipline: {record.pop('queue_policy')}")
+        for key, value in sorted(record.items()):
+            if isinstance(value, dict):
+                detail = ", ".join(
+                    f"{k}={v}" for k, v in sorted(value.items())
+                )
+                lines.append(f"    - {key}: {detail}")
+            else:
+                lines.append(f"    - {key}: {value}")
     if spec.is_noop:
         lines.append("  (no-op: bit-exact to running without a scenario)")
     return "\n".join(lines)
@@ -371,16 +442,24 @@ def scenario_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
     }
     if spec.surge is not None:
         record["surge"] = _shape_to_dict(spec.surge)
+    if spec.overload is not None:
+        record["overload"] = overload_spec_to_dict(spec.overload)
     return record
 
 
 def scenario_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
     """Rebuild a scenario spec from its :func:`scenario_to_dict` record."""
     surge = data.get("surge")
+    overload = data.get("overload")
     return ScenarioSpec(
         name=str(data["name"]),
         description=str(data.get("description", "")),
         faults=tuple(fault_from_dict(f) for f in data.get("faults", ())),
         surge=_shape_from_dict(surge) if surge is not None else None,
         failure_policy=str(data.get("failure_policy", "requeue")),
+        overload=(
+            overload_spec_from_dict(overload)
+            if overload is not None
+            else None
+        ),
     )

@@ -10,6 +10,7 @@ percentiles, throughput, drops, and CLP utilization.  See
 """
 
 from .arrivals import (
+    ARRIVAL_KINDS,
     ArrivalProcess,
     BurstyArrivals,
     ConstantRate,
@@ -18,6 +19,17 @@ from .arrivals import (
     make_arrival_process,
 )
 from .metrics import LatencySummary, ServeResult, TenantStats, percentile
+from .overload import (
+    BACKOFF_MODES,
+    JITTER_MODES,
+    QUEUE_POLICIES,
+    AdmissionPolicy,
+    BrownoutPolicy,
+    OverloadReport,
+    OverloadSpec,
+    PriorityClassStats,
+    RetryPolicy,
+)
 from .simulator import (
     DROP_POLICIES,
     TenantSpec,
@@ -28,6 +40,7 @@ from .simulator import (
 from .slo import SLOReport, SLOSpec, TenantVerdict, evaluate_slo
 
 __all__ = [
+    "ARRIVAL_KINDS",
     "ArrivalProcess",
     "ConstantRate",
     "PoissonArrivals",
@@ -40,6 +53,15 @@ __all__ = [
     "ServeResult",
     "TenantSpec",
     "DROP_POLICIES",
+    "QUEUE_POLICIES",
+    "BACKOFF_MODES",
+    "JITTER_MODES",
+    "AdmissionPolicy",
+    "RetryPolicy",
+    "BrownoutPolicy",
+    "OverloadSpec",
+    "OverloadReport",
+    "PriorityClassStats",
     "simulate_traffic",
     "service_capacity_rps",
     "pipeline_latency_cycles",

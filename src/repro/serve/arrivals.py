@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Iterator, Sequence, Tuple
 
 __all__ = [
+    "ARRIVAL_KINDS",
     "ArrivalProcess",
     "ConstantRate",
     "PoissonArrivals",
@@ -32,6 +33,12 @@ __all__ = [
     "TraceArrivals",
     "make_arrival_process",
 ]
+
+#: Process names :func:`make_arrival_process` accepts — the CLI sources
+#: its ``--process`` choices from here so the two can never drift.
+#: (:class:`TraceArrivals` has no name: a trace needs timestamps, not a
+#: rate, so it is constructed directly.)
+ARRIVAL_KINDS = ("constant", "poisson", "bursty")
 
 
 class ArrivalProcess:
@@ -183,5 +190,5 @@ def make_arrival_process(
     if key == "bursty":
         return BurstyArrivals(rate_per_cycle, burstiness, period_cycles)
     raise ValueError(
-        f"unknown arrival process {kind!r}; known: constant, poisson, bursty"
+        f"unknown arrival process {kind!r}; known: {', '.join(ARRIVAL_KINDS)}"
     )

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # annotation only; results never construct telemetry
     from ..obs.telemetry import TimeSeries
+    from .overload import OverloadReport
 
 __all__ = ["percentile", "LatencySummary", "TenantStats", "ServeResult"]
 
@@ -91,6 +92,26 @@ class TenantStats:
     #: single-device runs and fault-free fleets — drops are back-pressure,
     #: losses are incidents, and the two are budgeted separately.
     lost: int = 0
+    #: Arrivals turned away by admission control (token bucket,
+    #: queue-deadline admission, or a brownout gate) before queueing.
+    #: Distinct from ``drops`` (back-pressure) and ``lost`` (failures):
+    #: rejections are deliberate, cheap, and happen at the front door.
+    rejected: int = 0
+    #: Queued requests shed at dispatch because their deadline passed
+    #: while waiting (``edf``/``priority`` disciplines only — FIFO
+    #: serves them late instead).
+    expired: int = 0
+    #: Arrivals that were client retries (attempt > 1) of earlier
+    #: rejected/dropped/expired/lost requests.  Subset of ``arrivals``.
+    retries: int = 0
+    #: Arrivals that were hedge duplicates of still-queued requests.
+    hedges: int = 0
+    #: Completions whose latency exceeded the tenant's deadline — served,
+    #: but not goodput.  Always 0 without a deadline.
+    late: int = 0
+    #: The tenant's scheduling priority class (higher = more important);
+    #: 0 unless overload control assigned one.
+    priority: int = 0
 
     @property
     def drop_rate(self) -> float:
@@ -98,13 +119,23 @@ class TenantStats:
 
     @property
     def shed_rate(self) -> float:
-        """Fraction of arrivals not served: queue drops plus fault losses.
+        """Fraction of arrivals not served: drops, losses, rejections,
+        and in-queue expiries.
 
         This is the rate an SLO drop budget must cover — a client retries
         a request lost to a dead board exactly like one shed by a full
-        queue, so :func:`repro.serve.slo.evaluate_slo` charges both
-        against ``max_drop_rate``."""
-        return (self.drops + self.lost) / self.arrivals if self.arrivals else 0.0
+        queue or turned away at admission, so
+        :func:`repro.serve.slo.evaluate_slo` charges all of them against
+        ``max_drop_rate``."""
+        if not self.arrivals:
+            return 0.0
+        shed = self.drops + self.lost + self.rejected + self.expired
+        return shed / self.arrivals
+
+    @property
+    def good_completions(self) -> int:
+        """Completions within deadline (all of them when no deadline)."""
+        return self.completions - self.late
 
     def completed_rate_per_cycle(self, window_cycles: float) -> float:
         """Completions per cycle over an observation window.
@@ -143,6 +174,11 @@ class ServeResult:
     #: by default so unobserved results stay byte-identical to pre-obs
     #: records; fast-engine runs legitimately report ``None`` too.
     timeseries: Optional["TimeSeries"] = None
+    #: Overload-control report (:class:`repro.serve.overload
+    #: .OverloadReport`): per-priority windowed goodput and brownout
+    #: shedding.  ``None`` whenever no overload feature was active, so
+    #: plain runs stay byte-identical to pre-overload records.
+    overload: Optional["OverloadReport"] = None
 
     # ------------------------------------------------------------ conversions
     @property
@@ -181,6 +217,10 @@ class ServeResult:
     def format(self) -> str:
         from ..analysis.report import render_table
 
+        # Overload columns appear only when the run produced the class
+        # (mirrors the fleet table's conditional ``lost`` column).
+        show_rejected = any(t.rejected for t in self.tenants)
+        show_expired = any(t.expired for t in self.tenants)
         rows = []
         for t in self.tenants:
             if t.latency is None:
@@ -189,25 +229,33 @@ class ServeResult:
                 p50 = f"{self.cycles_to_ms(t.latency.p50):.2f}"
                 p95 = f"{self.cycles_to_ms(t.latency.p95):.2f}"
                 p99 = f"{self.cycles_to_ms(t.latency.p99):.2f}"
-            rows.append(
-                (
-                    t.name,
-                    f"{self.rate_to_rps(t.offered_rate_per_cycle):.0f}",
-                    t.arrivals,
-                    t.completions,
-                    f"{self.rate_to_rps(t.completed_rate_per_cycle(self.horizon_cycles)):.1f}",
-                    p50,
-                    p95,
-                    p99,
-                    f"{t.drop_rate:.1%}",
-                    f"{t.mean_queue_depth:.1f}",
-                )
-            )
+            row = [
+                t.name,
+                f"{self.rate_to_rps(t.offered_rate_per_cycle):.0f}",
+                t.arrivals,
+                t.completions,
+                f"{self.rate_to_rps(t.completed_rate_per_cycle(self.horizon_cycles)):.1f}",
+                p50,
+                p95,
+                p99,
+                f"{t.drop_rate:.1%}",
+                f"{t.mean_queue_depth:.1f}",
+            ]
+            if show_rejected:
+                row.append(t.rejected)
+            if show_expired:
+                row.append(t.expired)
+            rows.append(tuple(row))
+        headers = [
+            "tenant", "offered r/s", "arrivals", "done", "goodput r/s",
+            "p50 ms", "p95 ms", "p99 ms", "drop", "avg queue",
+        ]
+        if show_rejected:
+            headers.append("rejected")
+        if show_expired:
+            headers.append("expired")
         table = render_table(
-            (
-                "tenant", "offered r/s", "arrivals", "done", "goodput r/s",
-                "p50 ms", "p95 ms", "p99 ms", "drop", "avg queue",
-            ),
+            tuple(headers),
             rows,
             title=(
                 f"{self.design_label}: {self.num_clps} CLPs @ "

@@ -40,6 +40,7 @@ from typing import (
 
 if TYPE_CHECKING:
     from ..obs.telemetry import ObsSpec, TimeSeries
+    from .overload import OverloadReport, OverloadSpec
 
 from ..core.design import MultiCLPDesign
 from ..opt.joint import _JOINT_SEPARATOR, JointDesign
@@ -69,6 +70,17 @@ class TenantSpec:
     process: ArrivalProcess
     #: Optional bound on generated requests (guards open-ended traces).
     limit: Optional[int] = None
+    #: Scheduling priority class (higher = more important).  Plain FIFO
+    #: runs ignore it; the overload layer's brownout controller sheds
+    #: lower classes first and its ``priority`` discipline favours fresh
+    #: work within a class.
+    priority: int = 0
+    #: Per-request deadline in milliseconds.  When set, completions past
+    #: it count as ``late`` (served but not goodput), deadline-aware
+    #: disciplines (``edf``/``priority``) shed requests that expire in
+    #: queue, and deadline admission can reject at enqueue.  Setting it
+    #: activates the overload layer (event engine under ``auto``).
+    deadline_ms: Optional[float] = None
 
 
 def tenant_plans(
@@ -238,6 +250,7 @@ class TenantState:
             peak_queue_depth=self.peak_queue,
             steady_rate_per_cycle=steady,
             lost=self.lost,
+            priority=self.spec.priority,
         )
 
 
@@ -271,6 +284,7 @@ def simulate_traffic(
     drain: bool = False,
     engine: str = "auto",
     obs: Optional["ObsSpec"] = None,
+    overload: Optional["OverloadSpec"] = None,
 ) -> ServeResult:
     """Drive ``design`` with seeded request streams and measure serving.
 
@@ -297,11 +311,24 @@ def simulate_traffic(
     With ``obs=None`` (the default) no extra events are scheduled and
     results are bit-identical to pre-observability behaviour.
 
+    ``overload`` (an :class:`~repro.serve.overload.OverloadSpec`) opts
+    the run into admission control, queue disciplines, client retries,
+    and brownout (see :mod:`repro.serve.overload`).  Any active overload
+    feature — including a tenant ``deadline_ms`` — is a feedback loop
+    over the event stream, so ``engine="auto"`` falls back to the event
+    engine and an explicit ``engine="fast"`` raises.  With every
+    feature off, results are bit-identical to passing ``overload=None``.
+
     Determinism: identical arguments (including ``seed``) produce an
     identical :class:`~repro.serve.metrics.ServeResult`, bit for bit.
     """
     from ..sim.engine import Simulator
     from ..sim.fastpath import resolve_engine, run_serve_fast
+    from .overload import (
+        OverloadController,
+        OverloadSpec,
+        OverloadTenantState,
+    )
 
     if duration_cycles <= 0:
         raise ValueError("duration_cycles must be positive")
@@ -318,18 +345,45 @@ def simulate_traffic(
             f"{sorted(plans)}"
         )
 
+    overload_active = (overload is not None and overload.active) or any(
+        spec.deadline_ms is not None for spec in tenants
+    )
+    ospec = None
+    if overload_active:
+        ospec = overload if overload is not None else OverloadSpec()
+
     epoch = resolve_epoch(base, bytes_per_cycle, calibrate)
+    cycles_per_ms = frequency_mhz * 1e3
     states: List[TenantState] = []
     for spec in tenants:
         depth, clp_cycles = plans[spec.name]
-        states.append(
-            TenantState(spec, depth, clp_cycles, queue_depth, policy)
-        )
+        if ospec is not None:
+            deadline_ms = (
+                spec.deadline_ms
+                if spec.deadline_ms is not None
+                else ospec.deadline_ms
+            )
+            states.append(
+                OverloadTenantState(
+                    spec, depth, clp_cycles, queue_depth, policy,
+                    queue_policy=ospec.queue_policy,
+                    epoch=epoch,
+                    deadline_cycles=(
+                        None
+                        if deadline_ms is None
+                        else deadline_ms * cycles_per_ms
+                    ),
+                )
+            )
+        else:
+            states.append(
+                TenantState(spec, depth, clp_cycles, queue_depth, policy)
+            )
 
     clp_busy = [0.0] * base.num_clps
     horizon = float(duration_cycles)
 
-    concrete = resolve_engine(engine)
+    concrete = resolve_engine(engine, has_overload=overload_active)
     obs_active = obs is not None and obs.active
     if obs_active and concrete == "fast":
         if engine == "fast" and obs.trace is not None:
@@ -360,6 +414,28 @@ def simulate_traffic(
         )
     )
 
+    controller: Optional[OverloadController] = None
+    if ospec is not None:
+        # Retries/hedges re-enter through the same admission path as
+        # fresh arrivals; the single-device "fleet" has one landing spot.
+        def deliver(index: int, req) -> None:
+            controller.arrive(
+                index, req, lambda index=index: (states[index], None)
+            )
+
+        controller = OverloadController(
+            ospec,
+            tenants,
+            horizon=horizon,
+            frequency_mhz=frequency_mhz,
+            seed=seed,
+            schedule_at=sim.schedule_at,
+            now=lambda: sim.now,
+            deliver=deliver,
+            tracer=tracer,
+            recorder=recorder,
+        )
+
     # Arrivals: one self-rescheduling event chain per tenant, each with
     # a private RNG keyed by (seed, tenant index, tenant name).
     def start_stream(state: TenantState, index: int) -> None:
@@ -381,7 +457,13 @@ def simulate_traffic(
                 return
 
             def fire() -> None:
-                if tracer is None:
+                if controller is not None:
+                    controller.arrive(
+                        index,
+                        controller.make_request(sim.now),
+                        lambda: (state, None),
+                    )
+                elif tracer is None:
                     state.on_arrival(sim.now)
                 else:
                     before = state.drops
@@ -407,26 +489,52 @@ def simulate_traffic(
         if tracer is not None:
             tracer.request_completed(state.spec.name, None, sim.now, arrival)
 
+    def complete_overload(t_index: int, state: TenantState, req) -> None:
+        controller.complete(t_index, state, req)
+        if tracer is not None:
+            tracer.request_completed(
+                state.spec.name, None, sim.now, req.arrival
+            )
+
     def boundary(index: int = 0) -> None:
-        for state in states:
-            arrival = state.admit(sim.now)
-            if arrival is None:
-                continue
+        for t_index, state in enumerate(states):
+            if controller is not None:
+                req = controller.dispatch(t_index, state, None)
+                if req is None:
+                    continue
+                arrival = req.arrival
+            else:
+                req = None
+                arrival = state.admit(sim.now)
+                if arrival is None:
+                    continue
             if tracer is not None:
                 tracer.request_dispatched(
                     state.spec.name, None, sim.now, arrival
                 )
             for clp_index, cycles in enumerate(state.clp_cycles):
                 clp_busy[clp_index] += cycles
-            sim.schedule(
-                state.depth_epochs * epoch,
-                lambda state=state, arrival=arrival: complete(state, arrival),
-            )
+            if req is not None:
+                sim.schedule(
+                    state.depth_epochs * epoch,
+                    lambda t_index=t_index, state=state, req=req: (
+                        complete_overload(t_index, state, req)
+                    ),
+                )
+            else:
+                sim.schedule(
+                    state.depth_epochs * epoch,
+                    lambda state=state, arrival=arrival: complete(
+                        state, arrival
+                    ),
+                )
         # Boundaries live on the exact grid ``index * epoch``: chaining
         # ``now + epoch`` instead would accumulate float error over long
         # horizons and drift from the fast engine's batched grid.
         upcoming = (index + 1) * epoch
-        pending = any(s.queue or s.stream_open for s in states)
+        pending = any(s.queue or s.stream_open for s in states) or (
+            controller is not None and controller.pending_deliveries > 0
+        )
         if upcoming <= horizon or (drain and pending):
             sim.schedule_at(upcoming, lambda: boundary(index + 1))
 
@@ -460,10 +568,23 @@ def simulate_traffic(
         sim.run(until=horizon)
         elapsed = horizon
 
+    if controller is not None:
+        # Gate rejections (token bucket, brownout) never reached a
+        # tenant state; fold the controller's front-door ledger in so
+        # per-tenant conservation holds: arrivals == completions +
+        # drops + lost + rejected + expired + in_flight.
+        for state in states:
+            name = state.spec.name
+            state.arrivals += controller.gate_arrivals[name]
+            state.rejected += controller.gate_rejected[name]
+            state.retries += controller.gate_retries[name]
+            state.hedges += controller.gate_hedges[name]
+
     return _assemble_result(
         design, base, states, clp_busy, epoch, horizon, elapsed,
         frequency_mhz, seed, queue_depth, policy, drain,
         timeseries=recorder.finalize() if recorder is not None else None,
+        overload=controller.report() if controller is not None else None,
     )
 
 
@@ -481,6 +602,7 @@ def _assemble_result(
     policy: str,
     drain: bool,
     timeseries: Optional["TimeSeries"] = None,
+    overload: Optional["OverloadReport"] = None,
 ) -> ServeResult:
     """Reduce final run state to a :class:`ServeResult` (engine-shared)."""
     fractions = tuple(
@@ -506,4 +628,5 @@ def _assemble_result(
         tenants=tuple(state.stats(elapsed) for state in states),
         clp_busy_fraction=fractions,
         timeseries=timeseries,
+        overload=overload,
     )

@@ -67,23 +67,33 @@ __all__ = [
 ENGINES = ("auto", "fast", "event")
 
 
-def resolve_engine(engine: str, *, has_scenario: bool = False) -> str:
+def resolve_engine(
+    engine: str, *, has_scenario: bool = False, has_overload: bool = False
+) -> str:
     """Pick the concrete engine for a run.
 
     ``auto`` selects the fast path whenever no fault/surge scenario is
-    in play; the event engine remains the reference (and only) path for
-    scenario runs, where failure events genuinely interleave with
-    traffic.  Requesting ``fast`` together with a scenario is an error
-    rather than a silent downgrade.
+    in play and no overload feature (admission, non-FIFO discipline,
+    retries, brownout, deadlines) is active; the event engine remains
+    the reference (and only) path for those runs — failure events and
+    retry feedback loops genuinely interleave with traffic.  Requesting
+    ``fast`` together with either is an error rather than a silent
+    downgrade.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     if engine == "auto":
-        return "event" if has_scenario else "fast"
+        return "event" if (has_scenario or has_overload) else "fast"
     if engine == "fast" and has_scenario:
         raise ValueError(
             "engine='fast' cannot run fault/surge scenarios; "
             "use engine='event' (or 'auto') for scenario runs"
+        )
+    if engine == "fast" and has_overload:
+        raise ValueError(
+            "engine='fast' cannot run overload control (admission, "
+            "queue disciplines, retries, brownout, deadlines); "
+            "use engine='event' (or 'auto') for overload runs"
         )
     return engine
 

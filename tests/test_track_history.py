@@ -111,6 +111,29 @@ class TestRegressionCheck:
             speedup_vs_event=4.0, speedup_floor=4.0)
         assert th.check_regressions([entry]) == []
 
+    def test_goodput_retention_below_floor_flags(self):
+        entry = _entry("a", overload=(30_000, True))
+        entry["entries"]["overload"].update(
+            goodput_retention=0.4, retention_floor=0.9)
+        problems = th.check_regressions([entry])
+        assert len(problems) == 1
+        assert "overload" in problems[0] and "0.40" in problems[0]
+
+    def test_goodput_retention_at_floor_passes(self):
+        entry = _entry("a", overload=(30_000, True))
+        entry["entries"]["overload"].update(
+            goodput_retention=1.1, retention_floor=0.9)
+        assert th.check_regressions([entry]) == []
+
+    def test_collect_bench_carries_retention(self, tmp_path):
+        (tmp_path / "BENCH_overload.json").write_text(json.dumps(
+            {"benchmark": "overload", "smoke": True,
+             "requests_per_s": 30_000.0,
+             "goodput_retention": 1.27, "retention_floor": 0.9}))
+        benches = th.collect_bench(tmp_path)
+        assert benches["overload"]["goodput_retention"] == 1.27
+        assert benches["overload"]["retention_floor"] == 0.9
+
     def test_collect_bench_carries_speedup(self, tmp_path):
         (tmp_path / "BENCH_serve_fast.json").write_text(json.dumps(
             {"benchmark": "serve_fast", "smoke": True,
