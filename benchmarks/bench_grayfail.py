@@ -1,0 +1,186 @@
+"""Gray failures: straggler storms, detection lag, and goodput retention.
+
+A straggler storm is the gray failure the oracle health check cannot
+see: half the fleet throttles to 1/8 speed, every board still answers,
+and a blind balancer keeps feeding the slow half while queues build.
+This benchmark runs the same storm (50% of a 4-replica AlexNet fleet
+slowed 8x for 40% of the run) three ways:
+
+* **blind** — no detector: round-robin keeps routing to stragglers;
+* **oracle** — instant perfect knowledge: degraded boards leave the
+  rotation the cycle they slow down (the upper bound);
+* **probe** — realistic detection: periodic health probes time out on
+  slow boards, outlier ejection pulls them, request timeouts fail
+  stuck work over — all with real detection lag.
+
+The contract: probe-based detection must retain at least 90% of the
+oracle's goodput (``RETENTION_FLOOR``), and must beat flying blind.
+Numbers land in ``BENCH_grayfail.json`` — ``goodput_retention`` plus
+its floor ride along so ``scripts/track_history.py check`` re-asserts
+the recovery contract from the committed history, not just this run.
+"""
+
+import time
+
+from conftest import bench_scale
+
+from repro.core.datatypes import FLOAT32
+from repro.fleet import DetectorSpec, DeviceSpec, simulate_fleet
+from repro.fpga.parts import budget_for
+from repro.networks import alexnet
+from repro.opt import optimize_multi_clp
+from repro.scenario import DegradedReplica, ScenarioSpec
+from repro.serve import PoissonArrivals, TenantSpec, pipeline_latency_cycles
+
+EPOCHS = bench_scale(full=800, smoke=200)
+REPLICAS = 4
+STORM_FRACTION = 0.5
+SLOWDOWN = 8.0
+STORM_START = 0.3
+STORM_DURATION = 0.4
+RETENTION_FLOOR = 0.9
+FREQUENCY_HZ = 100e6
+
+
+def _storm():
+    return ScenarioSpec(
+        name="straggler-bench",
+        faults=(
+            DegradedReplica(
+                fraction=STORM_FRACTION,
+                slowdown=SLOWDOWN,
+                start=STORM_START,
+                duration=STORM_DURATION,
+            ),
+        ),
+    )
+
+
+def _deadline_ms(device):
+    # Zero-queueing pipeline latency plus a 6-epoch queueing allowance:
+    # generous in calm weather, unreachable through an 8x straggler —
+    # so ``good_completions`` is the goodput that separates
+    # routing around the storm from queueing into it.
+    epoch = device.resolve_epoch()
+    floor = pipeline_latency_cycles(device.design, device.bytes_per_cycle)
+    return (floor + 6.0 * epoch) / FREQUENCY_HZ * 1e3
+
+
+def _run_once(device, detector):
+    epoch = device.resolve_epoch()
+    horizon = EPOCHS * epoch
+    # 45% fleet utilization: the storm leaves the surviving half at 90%,
+    # so routing around stragglers sustains the load and routing into
+    # them does not.
+    process = PoissonArrivals(0.45 * REPLICAS / epoch)
+    return simulate_fleet(
+        device.replicated(REPLICAS),
+        [TenantSpec("AlexNet", process, deadline_ms=_deadline_ms(device))],
+        duration_cycles=horizon,
+        seed=0,
+        queue_depth=10**6,
+        scenario=_storm(),
+        detector=detector,
+    )
+
+
+def _conserved(result):
+    tenant = result.tenants[0]
+    return tenant.arrivals == (
+        tenant.completions + tenant.drops + tenant.lost
+        + tenant.timed_out + tenant.in_flight
+    )
+
+
+def test_gray_failure_detection(benchmark, record_artifact,
+                                record_bench_json):
+    design = optimize_multi_clp(alexnet(), budget_for("485t"), FLOAT32)
+    device = DeviceSpec(design, part="485t")
+    epoch_ms = device.resolve_epoch() / FREQUENCY_HZ * 1e3
+
+    probe_spec = DetectorSpec(
+        mode="probe",
+        request_timeout_ms=8.0 * epoch_ms,
+        max_failovers=2,
+    )
+
+    started = time.perf_counter()
+    probe = benchmark.pedantic(
+        lambda: _run_once(device, probe_spec), rounds=1, iterations=1
+    )
+    elapsed = time.perf_counter() - started
+
+    oracle = _run_once(device, DetectorSpec(mode="oracle"))
+    blind = _run_once(device, None)
+
+    for result in (probe, oracle, blind):
+        assert _conserved(result), "requests not conserved"
+
+    # Identical arrival substreams: goodput compares like for like.
+    assert probe.total_arrivals == oracle.total_arrivals
+    assert probe.total_arrivals == blind.total_arrivals
+
+    oracle_goodput = sum(t.good_completions for t in oracle.tenants)
+    probe_goodput = sum(t.good_completions for t in probe.tenants)
+    blind_goodput = sum(t.good_completions for t in blind.tenants)
+    retention = probe_goodput / oracle_goodput if oracle_goodput else 0.0
+    blind_retention = (
+        blind_goodput / oracle_goodput if oracle_goodput else 0.0
+    )
+    mttd = probe.resilience.mean_time_to_detect_cycles
+    mttd_ms = None if mttd is None else mttd / FREQUENCY_HZ * 1e3
+    tenant = probe.tenants[0]
+    requests_per_s = tenant.arrivals / elapsed
+
+    artifact = "\n".join(
+        [
+            f"gray-failure detection ({REPLICAS}x AlexNet 485T, "
+            f"{STORM_FRACTION:.0%} of fleet slowed {SLOWDOWN:g}x)",
+            f"  simulated epochs:      {EPOCHS}",
+            f"  simulated requests:    {tenant.arrivals}",
+            f"  wall-clock (probe):    {elapsed:.3f} s",
+            f"  simulated req/s:       {requests_per_s:,.0f}",
+            f"  oracle goodput:        {oracle_goodput}",
+            f"  probe goodput:         {probe_goodput} "
+            f"(retention {retention:.3f}, floor {RETENTION_FLOOR})",
+            f"  blind goodput:         {blind_goodput} "
+            f"(retention {blind_retention:.3f})",
+            f"  probe timed-out:       {probe.total_timed_out}",
+            f"  probe failed-over:     {probe.total_failed_over}",
+            "  mean time to detect:   "
+            + ("-" if mttd_ms is None else f"{mttd_ms:.2f} ms"),
+        ]
+    )
+    record_artifact("bench_grayfail", artifact)
+    record_bench_json(
+        "grayfail",
+        {
+            "replicas": REPLICAS,
+            "simulated_epochs": EPOCHS,
+            "simulated_requests": tenant.arrivals,
+            "wall_time_s": elapsed,
+            "requests_per_s": requests_per_s,
+            "goodput_retention": retention,
+            "retention_floor": RETENTION_FLOOR,
+            "blind_retention": blind_retention,
+            "timed_out": probe.total_timed_out,
+            "failed_over": probe.total_failed_over,
+            "mean_time_to_detect_ms": mttd_ms,
+        },
+    )
+    assert mttd_ms is not None and mttd_ms > 0.0, (
+        "probe detection never recorded a detection lag; the storm "
+        "should be detected late, not instantly"
+    )
+    assert retention >= RETENTION_FLOOR, (
+        f"probe detection retained only {retention:.3f} of oracle "
+        f"goodput (floor {RETENTION_FLOOR})"
+    )
+    assert blind_retention < retention, (
+        f"blind routing retained {blind_retention:.3f} vs probe "
+        f"{retention:.3f}; detection should beat no detection"
+    )
+    assert requests_per_s > 1_000, (
+        f"gray-failure engine too slow: {requests_per_s:,.0f} "
+        "simulated req/s"
+    )

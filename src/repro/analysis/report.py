@@ -227,7 +227,8 @@ def _goodput_rps(result: Any) -> float:
 def _shed_rate(result: Any) -> float:
     arrivals = sum(t.arrivals for t in result.tenants)
     shed = sum(
-        t.drops + t.lost + t.rejected + t.expired for t in result.tenants
+        t.drops + t.lost + t.rejected + t.expired + t.timed_out
+        for t in result.tenants
     )
     return shed / arrivals if arrivals else 0.0
 
@@ -353,6 +354,7 @@ def _resilience_section(results: Sequence[Any]) -> Optional[str]:
         if resilience is None:
             continue
         ttr = resilience.mean_time_to_recover_cycles
+        ttd = resilience.mean_time_to_detect_cycles
         during, outside = resilience.during, resilience.outside
         rows.append(
             (
@@ -361,6 +363,7 @@ def _resilience_section(results: Sequence[Any]) -> Optional[str]:
                 len(result.incidents),
                 f"{resilience.availability:.2%}",
                 "-" if ttr is None else f"{result.cycles_to_ms(ttr):.2f}",
+                "-" if ttd is None else f"{result.cycles_to_ms(ttd):.2f}",
                 resilience.lost_requests,
                 "-"
                 if during.p99_cycles is None
@@ -375,7 +378,7 @@ def _resilience_section(results: Sequence[Any]) -> Optional[str]:
     table = markdown_table(
         (
             "run", "scenario", "incidents", "availability", "mean ttr ms",
-            "lost", "p99 during ms", "p99 outside ms",
+            "mean ttd ms", "lost", "p99 during ms", "p99 outside ms",
         ),
         rows,
     )
@@ -421,7 +424,9 @@ def _overload_section(results: Sequence[Any]) -> Optional[str]:
 #: to milliseconds through the run's clock.
 _SPARK_PREFIXES = (
     "queue_depth/", "in_flight/", "arrivals/", "drops/", "lost/",
-    "p99_cycles/", "util/", "outstanding/", "healthy_replicas", "healthy/",
+    "p99_cycles/", "util/", "outstanding/", "healthy_replicas",
+    "detected_healthy_replicas", "timeouts/", "errors/", "failovers/",
+    "healthy/",
 )
 
 

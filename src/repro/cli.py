@@ -140,6 +140,75 @@ def _overload_spec(args: argparse.Namespace):
     return spec if spec.active else None
 
 
+def _add_detector_args(p) -> None:
+    """Failure-detection flags shared by the fleet commands.
+
+    All default off (oracle health, no timeouts) — bit-exact with the
+    pre-detector engine.  ``--detector probe`` or ``--request-timeout-ms``
+    forces the reference event engine under ``--engine auto``.
+    """
+    from .fleet import DETECTOR_MODES
+
+    p.add_argument("--detector", default=None, choices=list(DETECTOR_MODES),
+                   help="how the fleet learns replica health: oracle "
+                   "(instant, perfect) or probe (health checks + outlier "
+                   "ejection, with real detection latency)")
+    p.add_argument("--probe-interval-ms", type=float, default=None,
+                   metavar="MS",
+                   help="health-probe period (default: 4 epochs)")
+    p.add_argument("--probe-timeout-ms", type=float, default=None,
+                   metavar="MS",
+                   help="probe deadline; slow/delayed boards fail probes "
+                   "(default: 2 epochs)")
+    p.add_argument("--outlier-error-rate", type=float, default=None,
+                   metavar="RATE",
+                   help="eject replicas whose windowed error rate reaches "
+                   "RATE (probe mode; default 0.5)")
+    p.add_argument("--outlier-p99-factor", type=float, default=None,
+                   metavar="X",
+                   help="eject replicas whose windowed p99 exceeds X times "
+                   "the fleet median (probe mode; default 3.0)")
+    p.add_argument("--ejection-window-ms", type=float, default=None,
+                   metavar="MS",
+                   help="outlier-evaluation window (default: 8 epochs)")
+    p.add_argument("--request-timeout-ms", type=float, default=None,
+                   metavar="MS",
+                   help="pull back requests older than MS and fail them "
+                   "over to another replica")
+    p.add_argument("--max-failovers", type=int, default=None, metavar="N",
+                   help="failover attempts per request before it counts "
+                   "timed-out (default 1)")
+
+
+def _detector_spec(args: argparse.Namespace):
+    """Build a :class:`DetectorSpec` from the shared flags, or ``None``.
+
+    Returns ``None`` whenever every detector flag is at its default, so
+    plain invocations keep the bit-exact fast path.  A timeout or
+    outlier flag without ``--detector`` implies the obvious mode
+    (``oracle`` for a bare timeout, ``probe`` for outlier tuning).
+    """
+    from .fleet import DetectorSpec
+
+    tuning = {
+        "probe_interval_ms": args.probe_interval_ms,
+        "probe_timeout_ms": args.probe_timeout_ms,
+        "outlier_error_rate": args.outlier_error_rate,
+        "outlier_p99_factor": args.outlier_p99_factor,
+        "ejection_window_ms": args.ejection_window_ms,
+        "request_timeout_ms": args.request_timeout_ms,
+        "max_failovers": args.max_failovers,
+    }
+    provided = {k: v for k, v in tuning.items() if v is not None}
+    mode = args.detector
+    if mode is None:
+        if not provided:
+            return None
+        probe_only = set(provided) - {"request_timeout_ms", "max_failovers"}
+        mode = "probe" if probe_only else "oracle"
+    return DetectorSpec(mode=mode, **provided)
+
+
 def build_parser() -> argparse.ArgumentParser:
     from . import __version__
     from .scenario import SCENARIO_NAMES
@@ -302,6 +371,7 @@ def build_parser() -> argparse.ArgumentParser:
                        "(bit-identical results; auto picks fast for "
                        "scenario-free runs)")
         _add_overload_args(p)
+        _add_detector_args(p)
 
     fsim = fleet_sub.add_parser(
         "simulate", help="simulate traffic over a replicated fleet"
@@ -900,6 +970,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                 engine=args.engine,
                 obs=obs,
                 overload=_overload_spec(args),
+                detector=_detector_spec(args),
             )
             if args.save:
                 from .core.serialize import dump_fleet_result
@@ -953,6 +1024,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
                 redundancy=args.redundancy,
                 engine=args.engine,
                 overload=_overload_spec(args),
+                detector=_detector_spec(args),
             )
             lines = [plan.format()]
             if plan.meets and plan.result is not None:
@@ -990,6 +1062,7 @@ def _cmd_fleet(args: argparse.Namespace) -> str:
             engine=args.engine,
             trace=recorder,
             overload=_overload_spec(args),
+            detector=_detector_spec(args),
         )
         lines = [trace.format()]
         if recorder is not None:

@@ -196,13 +196,15 @@ def serve_result_to_dict(result: "ServeResult") -> Dict[str, Any]:
     return record
 
 
-#: TenantStats fields introduced by overload control.  Every one is
-#: zero for a run with no overload feature active, and every loader
+#: TenantStats fields introduced by overload control (and, later, by
+#: the failure detector's timeout/failover classes).  Every one is zero
+#: for a run with none of those features active, and every loader
 #: defaults an absent key to zero — so dropping zero-valued keys keeps
 #: plain records byte-identical to pre-overload records without losing
 #: information.
 _OVERLOAD_TENANT_KEYS = (
     "rejected", "expired", "retries", "hedges", "late", "priority",
+    "timed_out", "failed_over",
 )
 
 
@@ -258,6 +260,8 @@ def _tenant_stats_from_dict(entry: Dict[str, Any]) -> "TenantStats":
         hedges=int(entry.get("hedges", 0)),
         late=int(entry.get("late", 0)),
         priority=int(entry.get("priority", 0)),
+        timed_out=int(entry.get("timed_out", 0)),
+        failed_over=int(entry.get("failed_over", 0)),
     )
 
 
@@ -356,6 +360,17 @@ def fleet_result_to_dict(result: "FleetResult") -> Dict[str, Any]:
     if record.get("timeseries") is None:
         record.pop("timeseries", None)
     _prune_overload_keys(record)
+    # Detector-era keys follow the same discipline: absent unless the
+    # run actually carried a detector / measured a detection lag, so
+    # legacy records re-serialize byte-identically.
+    if record.get("detector") is None:
+        record.pop("detector", None)
+    resilience = record.get("resilience")
+    if (
+        resilience is not None
+        and resilience.get("mean_time_to_detect_cycles") is None
+    ):
+        resilience.pop("mean_time_to_detect_cycles", None)
     record["schema"] = FLEET_SCHEMA_VERSION
     return record
 
@@ -405,7 +420,18 @@ def fleet_result_from_dict(data: Dict[str, Any]) -> "FleetResult":
         resilience=_resilience_from_dict(data.get("resilience")),
         timeseries=timeseries_from_dict(data.get("timeseries")),
         overload=_overload_from_dict(data.get("overload")),
+        detector=_detector_from_dict(data.get("detector")),
     )
+
+
+def _detector_from_dict(
+    data: Optional[Dict[str, Any]],
+) -> Optional["DetectorSpec"]:
+    if data is None:
+        return None
+    from ..fleet.detector import detector_spec_from_dict
+
+    return detector_spec_from_dict(data)
 
 
 def _incident_from_dict(entry: Dict[str, Any]) -> "Incident":
@@ -443,6 +469,7 @@ def _resilience_from_dict(
         )
 
     ttr = data.get("mean_time_to_recover_cycles")
+    ttd = data.get("mean_time_to_detect_cycles")
     return ResilienceReport(
         availability=float(data["availability"]),
         incident_cycles=float(data["incident_cycles"]),
@@ -450,6 +477,7 @@ def _resilience_from_dict(
         mean_time_to_recover_cycles=None if ttr is None else float(ttr),
         during=window(data["during"]),
         outside=window(data["outside"]),
+        mean_time_to_detect_cycles=None if ttd is None else float(ttd),
     )
 
 

@@ -27,6 +27,13 @@ from .balancer import (
     make_balancer,
 )
 from .cluster import ClusterSimulator, Replica, simulate_fleet
+from .detector import (
+    DETECTOR_MODES,
+    DetectorSpec,
+    FailureDetector,
+    detector_spec_from_dict,
+    detector_spec_to_dict,
+)
 from .device import CALIBRATION_MODES, DeviceSpec
 from .metrics import FleetResult, ReplicaStats
 from .planner import (
@@ -54,6 +61,11 @@ __all__ = [
     "Replica",
     "ClusterSimulator",
     "simulate_fleet",
+    "DETECTOR_MODES",
+    "DetectorSpec",
+    "FailureDetector",
+    "detector_spec_to_dict",
+    "detector_spec_from_dict",
     "ReplicaStats",
     "FleetResult",
     "PlanProbe",

@@ -35,12 +35,13 @@ if TYPE_CHECKING:
     from ..obs.telemetry import ObsSpec, TimeSeries
     from ..serve.overload import OverloadController, OverloadSpec
 
-from ..scenario.faults import Incident, Outage
+from ..scenario.faults import Degradation, Incident, Outage
 from ..scenario.library import ScenarioSpec, get_scenario
 from ..scenario.resilience import compute_resilience
 from ..serve.metrics import LatencySummary, TenantStats
 from ..serve.simulator import DROP_POLICIES, TenantSpec, TenantState
 from .balancer import Balancer, make_balancer
+from .detector import DetectorSpec, FailureDetector
 from .device import DeviceSpec
 from .metrics import FleetResult, ReplicaStats
 
@@ -70,6 +71,14 @@ class Replica:
         #: no-ops instead of resurrecting destroyed work.
         self.down_depth = 0
         self.generation = 0
+        #: Gray-failure overlays: one severity stack per mode so
+        #: overlapping degradation windows compose (the worst active
+        #: severity wins); ``slow_next`` is the next boundary index at
+        #: which a straggling replica may dispatch again.
+        self.gray: Dict[str, List[float]] = {
+            "slow": [], "flaky": [], "link-delay": []
+        }
+        self.slow_next = 0.0
         base, plans = spec.plans()
         self.epoch = spec.resolve_epoch()
         self.num_clps = base.num_clps
@@ -107,6 +116,32 @@ class Replica:
     def healthy(self) -> bool:
         return self.down_depth == 0
 
+    @property
+    def degraded(self) -> bool:
+        """True while any gray-failure window covers this replica."""
+        return any(self.gray.values())
+
+    @property
+    def slow_factor(self) -> float:
+        stack = self.gray["slow"]
+        return max(stack) if stack else 1.0
+
+    @property
+    def error_rate(self) -> float:
+        stack = self.gray["flaky"]
+        return min(1.0, max(stack)) if stack else 0.0
+
+    @property
+    def link_delay_epochs(self) -> float:
+        stack = self.gray["link-delay"]
+        return max(stack) if stack else 0.0
+
+    def gray_begin(self, mode: str, severity: float) -> None:
+        self.gray[mode].append(severity)
+
+    def gray_end(self, mode: str, severity: float) -> None:
+        self.gray[mode].remove(severity)
+
     def serves(self, tenant: str) -> bool:
         return tenant in self.states
 
@@ -138,6 +173,8 @@ def _aggregate_tenant(
     gate_rejected: int = 0,
     gate_retries: int = 0,
     gate_hedges: int = 0,
+    timed_out: int = 0,
+    failed_over: int = 0,
 ) -> TenantStats:
     """Fleet-wide view of one tenant: merge raw samples, then reduce.
 
@@ -145,10 +182,15 @@ def _aggregate_tenant(
     on during an outage — they never reached a replica's state, so the
     fleet books them here, once as an arrival and once as lost, keeping
     the conservation invariant (arrivals = completions + drops + lost +
-    rejected + expired + in-flight) intact.  The ``gate_*`` counters are
+    rejected + expired + timed_out + in-flight) intact.  The ``gate_*``
+    counters are
     the overload controller's front-door ledger — token-bucket and
     brownout rejections equally never landed on a replica, so they are
     folded in here the same way (once as an arrival, once as rejected).
+    ``timed_out``/``failed_over`` are the cluster's request-timeout
+    ledger (requests reaped from queues after the detector's deadline,
+    and logical requests that failed over at least once) — fleet-level
+    concepts, tracked outside the per-replica tenant states.
     """
     latencies: List[float] = []
     for state in states:
@@ -194,6 +236,8 @@ def _aggregate_tenant(
         ),
         late=sum(getattr(state, "late", 0) for state in states),
         priority=spec.priority,
+        timed_out=timed_out,
+        failed_over=failed_over,
     )
 
 
@@ -279,6 +323,7 @@ class ClusterSimulator:
         engine: str = "auto",
         obs: Optional["ObsSpec"] = None,
         overload: Optional["OverloadSpec"] = None,
+        detector: Optional[DetectorSpec] = None,
     ) -> FleetResult:
         """One seeded traffic window over the whole fleet.
 
@@ -327,6 +372,19 @@ class ClusterSimulator:
         (e.g. ``retry-storm``) supplies it.  Active overload forces the
         event engine under ``auto`` (``"fast"`` raises); with every
         feature off, results are bit-identical to ``overload=None``.
+
+        ``detector`` (a :class:`~repro.fleet.detector.DetectorSpec`)
+        replaces oracle health with *detected* health: ``mode="probe"``
+        routes on periodic health probes plus outlier ejection (with
+        real detection latency, false positives under flaky replicas,
+        and probation re-admission), and ``request_timeout_ms`` arms a
+        request-level timeout with bounded failover (``max_failovers``
+        re-dispatches per request; exhausted requests are booked in the
+        new ``timed_out`` class).  When ``None``, a scenario that
+        carries its own detector supplies it.  The default oracle
+        detector with no timeout is inert: results are bit-identical
+        to ``detector=None``.  An *active* detector forces the event
+        engine under ``auto`` (``"fast"`` raises).
         """
         from ..sim.engine import Simulator
         from ..sim.fastpath import (
@@ -342,6 +400,9 @@ class ClusterSimulator:
             scenario = get_scenario(scenario)
         if overload is None and scenario is not None:
             overload = scenario.overload
+        if detector is None and scenario is not None:
+            detector = scenario.detector
+        detector_active = detector is not None and detector.active
         overload_active = (overload is not None and overload.active) or any(
             spec.deadline_ms is not None for spec in self.tenants
         )
@@ -352,6 +413,7 @@ class ClusterSimulator:
             engine,
             has_scenario=scenario is not None,
             has_overload=overload_active,
+            has_detector=detector_active,
         )
         obs_active = obs is not None and obs.active
         if obs_active and concrete == "fast":
@@ -435,6 +497,7 @@ class ClusterSimulator:
         # streams below draw exactly what they would without a scenario.
         processes = [spec.process for spec in self.tenants]
         outages: List[Outage] = []
+        degradations: List[Degradation] = []
         failure_policy = "requeue"
         if scenario is not None:
             failure_policy = scenario.failure_policy
@@ -450,8 +513,62 @@ class ClusterSimulator:
                 outages.extend(
                     fault.materialize(horizon, len(replicas), fault_rng)
                 )
+                degradations.extend(
+                    fault.materialize_gray(horizon, len(replicas), fault_rng)
+                )
             outages.sort(key=lambda o: (o.start, o.replica))
+            degradations.sort(key=lambda d: (d.start, d.replica))
         have_faults = bool(outages)
+        have_gray = bool(degradations)
+        #: Flaky-replica error draws: a dedicated substream, consumed
+        #: only while an error-rate window is active at dispatch time,
+        #: so flaky faults never perturb arrivals or balancer draws.
+        flaky_rng = random.Random(f"{seed}/scenario/flaky")
+
+        # --------------------------------------------- failure detection
+        # ``fd`` resolves the spec's ms-denominated knobs into cycles;
+        # probing/ejection only runs in "probe" mode (oracle routing
+        # stays ground truth).  ``routable`` is the single health
+        # predicate the router, evacuation, and failover all consult —
+        # with no detector it is exactly ``Replica.healthy``, so
+        # detector-free runs stay bit-identical.
+        fd: Optional[FailureDetector] = None
+        fdet: Optional[FailureDetector] = None
+        rt_cycles: Optional[float] = None
+        max_failovers = 0
+        if detector is not None:
+            fd = FailureDetector(
+                detector,
+                len(replicas),
+                epoch=min(replica.epoch for replica in replicas),
+                cycles_per_ms=self.frequency_mhz * 1e3,
+            )
+            rt_cycles = fd.request_timeout
+            max_failovers = detector.max_failovers
+            if detector.mode == "probe":
+                fdet = fd
+        if fdet is not None:
+            routable = fdet.routable
+        elif detector is not None:
+            # Oracle detection is gray-aware: degraded replicas are
+            # known instantly and routed around.
+            def routable(i: int) -> bool:
+                replica = replicas[i]
+                return replica.healthy and not replica.degraded
+        else:
+            def routable(i: int) -> bool:
+                return replicas[i].healthy
+        filter_routing = (
+            have_faults or have_gray or fdet is not None
+        )
+        #: Per-request failover ledger, keyed by ``(tenant, arrival)``
+        #: for plain runs and by the live request object under overload:
+        #: (attempts so far, start of the current attempt).  Entries
+        #: exist only for requests that have failed over at least once.
+        failover_state: Dict[object, Tuple[int, float]] = {}
+        #: Fleet-level timeout/failover ledgers (per tenant name).
+        timed_out: Dict[str, int] = {spec.name: 0 for spec in self.tenants}
+        failed_over: Dict[str, int] = {spec.name: 0 for spec in self.tenants}
         #: Arrivals that found no healthy replica, per tenant name.
         unroutable: Dict[str, int] = {spec.name: 0 for spec in self.tenants}
         #: (finish_cycles, latency_cycles) fleet-wide, for resilience.
@@ -469,10 +586,8 @@ class ClusterSimulator:
                 name: str,
             ) -> Optional[Tuple[TenantState, Optional[int]]]:
                 targets = eligible[name]
-                if have_faults:
-                    targets = tuple(
-                        i for i in targets if replicas[i].healthy
-                    )
+                if filter_routing:
+                    targets = tuple(i for i in targets if routable(i))
                     if not targets:
                         unroutable[name] += 1
                         if tracer is not None:
@@ -533,10 +648,8 @@ class ClusterSimulator:
                         pump(count + 1)
                         return
                     targets = eligible[spec.name]
-                    if have_faults:
-                        targets = tuple(
-                            i for i in targets if replicas[i].healthy
-                        )
+                    if filter_routing:
+                        targets = tuple(i for i in targets if routable(i))
                         if not targets:
                             # Nobody can take it: the fleet still saw the
                             # request — booked as arrived and lost at
@@ -574,6 +687,8 @@ class ClusterSimulator:
             replica.down_depth += 1
             if replica.down_depth > 1:
                 return  # already down (overlapping outage windows)
+            if fdet is not None:
+                fdet.note_onset(replica.index, sim.now)
             if tracer is not None:
                 tracer.incident_begin(replica.label, sim.now)
             # Work in the pipeline dies with the board; a new generation
@@ -618,7 +733,7 @@ class ClusterSimulator:
                     rescue = tuple(
                         i
                         for i in eligible[state.spec.name]
-                        if replicas[i].healthy
+                        if routable(i)
                     )
                     if not rescue:
                         state.lost += 1
@@ -670,8 +785,11 @@ class ClusterSimulator:
 
         def recover(replica: Replica) -> None:
             replica.down_depth -= 1
-            if replica.down_depth == 0 and tracer is not None:
-                tracer.incident_end(replica.label, sim.now)
+            if replica.down_depth == 0:
+                if fdet is not None and not replica.degraded:
+                    fdet.note_clear(replica.index, sim.now)
+                if tracer is not None:
+                    tracer.incident_end(replica.label, sim.now)
 
         for outage in outages:
             target = replicas[outage.replica]
@@ -682,14 +800,268 @@ class ClusterSimulator:
                 outage.end, lambda target=target: recover(target)
             )
 
+        # ------------------------------------------- gray-failure events
+        # Degradations never kill in-flight work: the board keeps
+        # serving, just slower / flakier / farther away.  Onset and
+        # clearance feed the detector's ground-truth ledger so
+        # mean-time-to-detect measures probe latency, not luck.
+        def degrade(replica: Replica, deg: Degradation) -> None:
+            was_bad = not replica.healthy or replica.degraded
+            replica.gray_begin(deg.mode, deg.severity)
+            if fdet is not None and not was_bad:
+                fdet.note_onset(replica.index, sim.now)
+            if tracer is not None:
+                tracer.degradation_begin(
+                    replica.label, sim.now, mode=deg.mode,
+                    severity=deg.severity,
+                )
+
+        def undegrade(replica: Replica, deg: Degradation) -> None:
+            replica.gray_end(deg.mode, deg.severity)
+            if (
+                fdet is not None
+                and replica.healthy
+                and not replica.degraded
+            ):
+                fdet.note_clear(replica.index, sim.now)
+            if tracer is not None:
+                tracer.degradation_end(
+                    replica.label, sim.now, mode=deg.mode
+                )
+
+        for deg in degradations:
+            target = replicas[deg.replica]
+            sim.schedule_at(
+                deg.start,
+                lambda target=target, deg=deg: degrade(target, deg),
+            )
+            sim.schedule_at(
+                deg.end,
+                lambda target=target, deg=deg: undegrade(target, deg),
+            )
+
+        # ------------------------------------------------ detector events
+        # Probes are out-of-band (they consume no replica capacity): a
+        # probe round-trips one epoch plus any link delay, so a dead
+        # board, a straggler, or a slow link misses the deadline, and a
+        # flaky board fails the probe with its error probability (its
+        # own substream — probe draws never perturb request draws).
+        if fdet is not None:
+            probe_rng = random.Random(f"{seed}/detector/probe")
+
+            def probe_all(k: int = 1) -> None:
+                for replica in replicas:
+                    ok = replica.healthy
+                    if ok and (
+                        replica.slow_factor > 1.0
+                        or replica.link_delay_epochs > 0.0
+                    ):
+                        ok = (
+                            replica.epoch * replica.slow_factor
+                            + replica.link_delay_epochs * replica.epoch
+                        ) <= fdet.probe_timeout
+                    if ok and replica.error_rate > 0.0:
+                        ok = probe_rng.random() >= replica.error_rate
+                    event = fdet.record_probe(replica.index, sim.now, ok)
+                    if event is not None and tracer is not None:
+                        if event == "ejected":
+                            tracer.replica_ejected(
+                                replica.label, sim.now, reason="probes"
+                            )
+                        else:
+                            tracer.replica_readmitted(
+                                replica.label, sim.now
+                            )
+                upcoming = (k + 1) * fdet.probe_interval
+                if upcoming <= horizon:
+                    sim.schedule_at(upcoming, lambda: probe_all(k + 1))
+
+            if fdet.probe_interval <= horizon:
+                sim.schedule_at(
+                    fdet.probe_interval, lambda: probe_all(1)
+                )
+
+            if detector.outlier_error_rate is not None or (
+                detector.outlier_p99_factor is not None
+            ):
+
+                def outliers(k: int = 1) -> None:
+                    for index, reason in fdet.evaluate_outliers(sim.now):
+                        if tracer is not None:
+                            tracer.replica_ejected(
+                                replicas[index].label, sim.now,
+                                reason=reason,
+                            )
+                    upcoming = (k + 1) * fdet.ejection_window
+                    if upcoming <= horizon:
+                        sim.schedule_at(upcoming, lambda: outliers(k + 1))
+
+                if fdet.ejection_window <= horizon:
+                    sim.schedule_at(
+                        fdet.ejection_window, lambda: outliers(1)
+                    )
+
+        # ------------------------------------------------- request timeout
+        # A periodic sweep (twice per timeout) reaps queue entries whose
+        # *current attempt* has sat longer than the deadline: failover
+        # re-dispatches them (restarting the attempt clock, original
+        # arrival kept for latency), an exhausted budget books them as
+        # ``timed_out``.  In-pipeline work is past the point of no
+        # return — it completes late or dies with the board.
+        if rt_cycles is not None:
+            sweep_step = rt_cycles / 2.0
+
+            def reap(replica: Replica, state: TenantState, item) -> None:
+                name = state.spec.name
+                if fdet is not None:
+                    fdet.record_error(replica.index)
+                if failover(replica, state, item):
+                    return
+                timed_out[name] += 1
+                if recorder is not None:
+                    recorder.count(f"timeouts/{name}", sim.now)
+                if tracer is not None:
+                    tracer.request_timeout(name, replica.index, sim.now)
+                if controller is not None:
+                    item.done = True
+                    controller.client_retry(
+                        tenant_index[name], item, reason="timeout"
+                    )
+
+            def sweep(k: int = 1) -> None:
+                for replica in replicas:
+                    for state in replica.states.values():
+                        if not state.queue:
+                            continue
+                        name = state.spec.name
+                        if controller is None:
+                            stale = [
+                                item
+                                for item in state.queue
+                                if sim.now
+                                - failover_state.get(
+                                    (name, item), (0, item)
+                                )[1]
+                                >= rt_cycles
+                            ]
+                        else:
+                            stale = [
+                                item
+                                for item in state.queue
+                                if sim.now
+                                - failover_state.get(
+                                    item, (0, item.arrival)
+                                )[1]
+                                >= rt_cycles
+                            ]
+                        if not stale:
+                            continue
+                        state._touch(sim.now)
+                        for item in stale:
+                            state.queue.remove(item)
+                        for item in stale:
+                            reap(replica, state, item)
+                upcoming = (k + 1) * sweep_step
+                if upcoming <= horizon or (
+                    drain
+                    and any(
+                        state.queue
+                        for replica in replicas
+                        for state in replica.states.values()
+                    )
+                ):
+                    sim.schedule_at(upcoming, lambda: sweep(k + 1))
+
+            if sweep_step <= horizon:
+                sim.schedule_at(sweep_step, lambda: sweep(1))
+
         record = scenario is not None
 
+        def failover(
+            replica: Replica,
+            state: TenantState,
+            item,
+            phase: str = "queue",
+        ) -> bool:
+            """Re-dispatch a failed/stale request onto another replica.
+
+            Returns True when the request found a new queue (or died as
+            a drop there — either way it was handed off); False when
+            the failover budget or candidate set is exhausted and the
+            caller must book the terminal outcome.
+            """
+            name = state.spec.name
+            key = (name, item) if controller is None else item
+            used, _ = failover_state.get(key, (0, 0.0))
+            candidates = tuple(
+                i
+                for i in eligible[name]
+                if i != replica.index and routable(i)
+            )
+            if used >= max_failovers or not candidates:
+                failover_state.pop(key, None)
+                return False
+            # The attempt clock restarts: timeouts measure the current
+            # attempt, not the request's total age (latency still does).
+            failover_state[key] = (used + 1, sim.now)
+            if used == 0:
+                failed_over[name] += 1
+            choice = balancer.route(name, candidates, sim.now)
+            target = replicas[choice].states[name]
+            if controller is not None:
+                victim = target.requeue(item, sim.now)
+                if victim is not None:
+                    controller.client_retry(
+                        tenant_index[name], victim, reason="dropped"
+                    )
+            else:
+                target.requeue(item, sim.now)
+            if recorder is not None:
+                recorder.count(f"failovers/{name}", sim.now)
+            if tracer is not None:
+                tracer.request_failover(
+                    name, replica.index, sim.now, target=choice,
+                    phase=phase,
+                )
+            return True
+
+        def flaky_error(
+            replica: Replica, state: TenantState, item, t_idx: Optional[int]
+        ) -> None:
+            """A dispatched request came back as an error (flaky board)."""
+            name = state.spec.name
+            if fdet is not None:
+                fdet.record_error(replica.index)
+            if recorder is not None:
+                recorder.count(f"errors/{name}", sim.now)
+            if failover(replica, state, item, phase="pipeline"):
+                return
+            # Terminal: the error response is the final word.
+            state.lost += 1
+            if tracer is not None:
+                tracer.request_errored(name, replica.index, sim.now)
+            if controller is not None:
+                item.done = True
+                controller.client_retry(t_idx, item, reason="error")
+
         def finish(
-            replica: Replica, state: TenantState, arrival: float, gen: int
+            replica: Replica,
+            state: TenantState,
+            arrival: float,
+            gen: int,
+            errored: bool = False,
         ) -> None:
             if replica.generation != gen:
                 return  # the board died after admission; work already lost
+            if errored:
+                state.pipeline -= 1
+                flaky_error(replica, state, arrival, None)
+                return
             state.on_completion(arrival, sim.now)
+            if fdet is not None:
+                fdet.record_success(replica.index, sim.now - arrival)
+            if failover_state:
+                failover_state.pop((state.spec.name, arrival), None)
             if tracer is not None:
                 tracer.request_completed(
                     state.spec.name, replica.index, sim.now, arrival
@@ -698,7 +1070,12 @@ class ClusterSimulator:
                 samples.append((sim.now, sim.now - arrival))
 
         def finish_overload(
-            replica: Replica, state: TenantState, req, gen: int, t_idx: int
+            replica: Replica,
+            state: TenantState,
+            req,
+            gen: int,
+            t_idx: int,
+            errored: bool = False,
         ) -> None:
             if replica.generation != gen:
                 # The board died after admission: the loss was booked at
@@ -706,7 +1083,15 @@ class ClusterSimulator:
                 # was due and may retry.
                 controller.client_retry(t_idx, req, reason="lost")
                 return
+            if errored:
+                state.pipeline -= 1
+                flaky_error(replica, state, req, t_idx)
+                return
             controller.complete(t_idx, state, req)
+            if fdet is not None:
+                fdet.record_success(replica.index, sim.now - req.arrival)
+            if failover_state:
+                failover_state.pop(req, None)
             if tracer is not None:
                 tracer.request_completed(
                     state.spec.name, replica.index, sim.now, req.arrival
@@ -718,8 +1103,35 @@ class ClusterSimulator:
             epoch = replica.epoch
 
             def boundary(count: int = 0) -> None:
-                if replica.healthy:
+                dispatching = replica.healthy
+                if dispatching and have_gray:
+                    sf = replica.slow_factor
+                    if sf > 1.0:
+                        # A straggler dispatches only every ``sf``-th
+                        # boundary — epoch slowdown without perturbing
+                        # the exact boundary grid.  The fractional
+                        # accumulator keeps non-integer factors honest;
+                        # the catch-up clamp resets a stale marker when
+                        # a new slow window opens.
+                        if count - replica.slow_next >= sf:
+                            replica.slow_next = float(count)
+                        if count < replica.slow_next:
+                            dispatching = False
+                        else:
+                            replica.slow_next += sf
+                if dispatching:
                     for state in replica.states.values():
+                        if have_gray:
+                            service = (
+                                state.depth_epochs
+                                * epoch
+                                * replica.slow_factor
+                                + replica.link_delay_epochs * epoch
+                            )
+                            flaky = replica.error_rate
+                        else:
+                            service = state.depth_epochs * epoch
+                            flaky = 0.0
                         if controller is not None:
                             t_idx = tenant_index[state.spec.name]
                             req = controller.dispatch(
@@ -727,6 +1139,10 @@ class ClusterSimulator:
                             )
                             if req is None:
                                 continue
+                            errored = (
+                                flaky > 0.0
+                                and flaky_rng.random() < flaky
+                            )
                             if tracer is not None:
                                 tracer.request_dispatched(
                                     state.spec.name, replica.index,
@@ -737,15 +1153,18 @@ class ClusterSimulator:
                             ):
                                 replica.clp_busy[clp_index] += cycles
                             sim.schedule(
-                                state.depth_epochs * epoch,
-                                lambda state=state, req=req, t_idx=t_idx, gen=replica.generation: finish_overload(
-                                    replica, state, req, gen, t_idx
+                                service,
+                                lambda state=state, req=req, t_idx=t_idx, gen=replica.generation, errored=errored: finish_overload(
+                                    replica, state, req, gen, t_idx, errored
                                 ),
                             )
                             continue
                         arrival = state.admit(sim.now)
                         if arrival is None:
                             continue
+                        errored = (
+                            flaky > 0.0 and flaky_rng.random() < flaky
+                        )
                         if tracer is not None:
                             tracer.request_dispatched(
                                 state.spec.name, replica.index, sim.now,
@@ -754,9 +1173,9 @@ class ClusterSimulator:
                         for clp_index, cycles in enumerate(state.clp_cycles):
                             replica.clp_busy[clp_index] += cycles
                         sim.schedule(
-                            state.depth_epochs * epoch,
-                            lambda state=state, arrival=arrival, gen=replica.generation: finish(
-                                replica, state, arrival, gen
+                            service,
+                            lambda state=state, arrival=arrival, gen=replica.generation, errored=errored: finish(
+                                replica, state, arrival, gen, errored
                             ),
                         )
                 # Exact grid ``count * epoch`` — see the single-device
@@ -817,17 +1236,30 @@ class ClusterSimulator:
                     window,
                     sum(1 for replica in replicas if replica.healthy),
                 )
+                if fdet is not None:
+                    # The detector's view next to the oracle's: the two
+                    # diverge exactly during detection lag and false
+                    # positives — the gap *is* the gray-failure story.
+                    recorder.gauge(
+                        "detected_healthy_replicas",
+                        window,
+                        fdet.detected_healthy_count(),
+                    )
                 for replica in replicas:
                     recorder.gauge(
                         f"outstanding/{replica.label}",
                         window,
                         replica.outstanding,
                     )
-                    if have_faults:
+                    if have_faults or have_gray:
                         recorder.gauge(
                             f"healthy/{replica.label}",
                             window,
-                            1.0 if replica.healthy else 0.0,
+                            (
+                                1.0
+                                if replica.healthy and not replica.degraded
+                                else 0.0
+                            ),
                         )
 
             # Read-only samplers on the shared grid; scheduled last so
@@ -851,6 +1283,16 @@ class ClusterSimulator:
                 recorder.finalize() if recorder is not None else None
             ),
             controller=controller,
+            degradations=degradations,
+            detector_spec=(
+                detector
+                if detector is not None
+                and (detector.active or have_gray)
+                else None
+            ),
+            fdet=fdet,
+            timed_out=timed_out,
+            failed_over=failed_over,
         )
 
     def _finalize(
@@ -867,6 +1309,11 @@ class ClusterSimulator:
         samples: List[Tuple[float, float]],
         timeseries: Optional["TimeSeries"] = None,
         controller: Optional["OverloadController"] = None,
+        degradations: Optional[List[Degradation]] = None,
+        detector_spec: Optional[DetectorSpec] = None,
+        fdet: Optional[FailureDetector] = None,
+        timed_out: Optional[Dict[str, int]] = None,
+        failed_over: Optional[Dict[str, int]] = None,
     ) -> FleetResult:
         """Reduce final replica state to a :class:`FleetResult` (engine-shared)."""
         aggregates = tuple(
@@ -899,6 +1346,14 @@ class ClusterSimulator:
                     if controller is not None
                     else 0
                 ),
+                timed_out=(
+                    timed_out[spec.name] if timed_out is not None else 0
+                ),
+                failed_over=(
+                    failed_over[spec.name]
+                    if failed_over is not None
+                    else 0
+                ),
             )
             for spec in self.tenants
         )
@@ -916,6 +1371,16 @@ class ClusterSimulator:
                 )
                 for o in outages
             ]
+            log.extend(
+                Incident(
+                    kind="gray",
+                    target=replicas[d.replica].label,
+                    start_cycles=d.start,
+                    end_cycles=min(d.end, elapsed),
+                    recovered=d.end <= elapsed,
+                )
+                for d in (degradations or [])
+            )
             if scenario.surge is not None:
                 log.extend(
                     Incident(
@@ -936,6 +1401,9 @@ class ClusterSimulator:
                 horizon_cycles=elapsed,
                 num_replicas=len(replicas),
                 lost_requests=sum(t.lost for t in aggregates),
+                mean_time_to_detect_cycles=(
+                    fdet.mean_time_to_detect() if fdet is not None else None
+                ),
             )
 
         return FleetResult(
@@ -957,6 +1425,7 @@ class ClusterSimulator:
             overload=(
                 controller.report() if controller is not None else None
             ),
+            detector=detector_spec,
         )
 
 
@@ -975,6 +1444,7 @@ def simulate_fleet(
     engine: str = "auto",
     obs: Optional["ObsSpec"] = None,
     overload: Optional["OverloadSpec"] = None,
+    detector: Optional[DetectorSpec] = None,
 ) -> FleetResult:
     """One-shot convenience wrapper around :class:`ClusterSimulator`."""
     cluster = ClusterSimulator(
@@ -993,4 +1463,5 @@ def simulate_fleet(
         engine=engine,
         obs=obs,
         overload=overload,
+        detector=detector,
     )

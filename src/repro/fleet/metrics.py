@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Optional, Tuple
 if TYPE_CHECKING:  # annotation only; results never construct telemetry
     from ..obs.telemetry import TimeSeries
     from ..serve.overload import OverloadReport
+    from .detector import DetectorSpec
 
 from ..scenario.faults import Incident
 from ..scenario.resilience import ResilienceReport, WindowMetrics
@@ -105,6 +106,12 @@ class FleetResult:
     #: shedding); ``None`` whenever no overload feature was active so
     #: plain runs stay byte-identical to pre-overload records.
     overload: Optional["OverloadReport"] = None
+    #: The failure-detection spec the run routed with
+    #: (:class:`~repro.fleet.detector.DetectorSpec`); recorded only when
+    #: it could have mattered (probe mode, request timeouts, or gray
+    #: faults present), so detector-free runs stay byte-identical to
+    #: pre-detector records.
+    detector: Optional["DetectorSpec"] = None
 
     # ------------------------------------------------------------ conversions
     @property
@@ -153,6 +160,16 @@ class FleetResult:
         """Queued requests shed past-deadline at dispatch, fleet-wide."""
         return sum(t.expired for t in self.tenants)
 
+    @property
+    def total_timed_out(self) -> int:
+        """Requests abandoned after exhausting timeout failovers, fleet-wide."""
+        return sum(t.timed_out for t in self.tenants)
+
+    @property
+    def total_failed_over(self) -> int:
+        """Logical requests that failed over at least once, fleet-wide."""
+        return sum(t.failed_over for t in self.tenants)
+
     # --------------------------------------------------------------- capacity
     def tenant_capacity_rps(self, name: str) -> float:
         """Admission slots per second the fleet offers one tenant."""
@@ -197,6 +214,8 @@ class FleetResult:
         # run actually produced the class, so plain reports are stable.
         show_rejected = self.total_rejected > 0
         show_expired = self.total_expired > 0
+        show_timed_out = self.total_timed_out > 0
+        show_failed_over = self.total_failed_over > 0
         tenant_rows = []
         for t in self.tenants:
             if t.latency is None:
@@ -222,6 +241,10 @@ class FleetResult:
                 row.append(t.rejected)
             if show_expired:
                 row.append(t.expired)
+            if show_timed_out:
+                row.append(t.timed_out)
+            if show_failed_over:
+                row.append(t.failed_over)
             tenant_rows.append(tuple(row))
         headers = [
             "tenant", "offered r/s", "arrivals", "done", "goodput r/s",
@@ -233,6 +256,10 @@ class FleetResult:
             headers.append("rejected")
         if show_expired:
             headers.append("expired")
+        if show_timed_out:
+            headers.append("timed-out")
+        if show_failed_over:
+            headers.append("failed-over")
         tenant_table = render_table(
             tuple(headers),
             tenant_rows,
@@ -313,10 +340,16 @@ class FleetResult:
                 if r.mean_time_to_recover_cycles is not None
                 else "-"
             )
-            lines.append(
+            line = (
                 f"  availability={r.availability:.2%}  mean-ttr={ttr}  "
                 f"incident window={self.cycles_to_ms(r.incident_cycles):.1f}ms"
             )
+            if r.mean_time_to_detect_cycles is not None:
+                line += (
+                    f"  mean-ttd="
+                    f"{self.cycles_to_ms(r.mean_time_to_detect_cycles):.2f}ms"
+                )
+            lines.append(line)
             lines.append(
                 f"  during incidents:  p99={p99(r.during)}  "
                 f"goodput={self.rate_to_rps(r.during.goodput_per_cycle):.1f} r/s"

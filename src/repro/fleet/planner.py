@@ -30,6 +30,7 @@ from ..serve.simulator import TenantSpec, pipeline_latency_cycles
 from ..serve.slo import SLOReport, SLOSpec, evaluate_slo
 from .balancer import Balancer
 from .cluster import ClusterSimulator
+from .detector import DetectorSpec
 from .device import DeviceSpec
 from .metrics import FleetResult
 
@@ -155,6 +156,7 @@ def plan_capacity(
     redundancy: int = 0,
     engine: str = "auto",
     overload: Optional["OverloadSpec"] = None,
+    detector: Optional[DetectorSpec] = None,
 ) -> CapacityPlan:
     """Minimum replicas of ``device`` meeting ``slo`` at ``rate_rps``.
 
@@ -167,7 +169,11 @@ def plan_capacity(
     ``scenario`` makes every probe run a failure/surge drill (see
     :mod:`repro.scenario`), so the plan answers "how many boards survive
     a rack loss at the daily peak?" rather than the fair-weather
-    question.  ``redundancy=k`` additionally forces the *last* ``k``
+    question.  ``detector`` runs every probe under that failure
+    detector (see :mod:`repro.fleet.detector`), so a gray-fault drill
+    is planned against *detected* health — including detection lag,
+    request timeouts, and failover — rather than oracle knowledge.
+    ``redundancy=k`` additionally forces the *last* ``k``
     replicas down over the worst window of each probe (N+k planning);
     the search then starts at ``k + 1`` boards, since a fleet of ``k``
     can be wiped out entirely.  Note a fault scenario makes a strict
@@ -239,6 +245,7 @@ def plan_capacity(
                 scenario=scenario,
                 engine=engine,
                 overload=overload,
+                detector=detector,
             )
             evaluations[count] = (result, evaluate_slo(result, slo))
         return evaluations[count]
@@ -481,6 +488,7 @@ def autoscale(
     engine: str = "auto",
     trace: Optional["TraceRecorder"] = None,
     overload: Optional["OverloadSpec"] = None,
+    detector: Optional[DetectorSpec] = None,
 ) -> AutoscaleTrace:
     """Step a reactive autoscaler across per-window offered rates.
 
@@ -498,6 +506,10 @@ def autoscale(
     :meth:`AutoscalerPolicy.decide` reads each window's resilience
     report, the controller reacts to in-incident degradation rather
     than only the window-wide aggregate.
+
+    ``detector`` runs every window under that failure detector, so the
+    controller's p99/queue signals reflect detection lag and failover
+    rather than oracle health.
 
     ``trace`` (a :class:`repro.obs.TraceRecorder`) records every scale
     step as an instant event on the autoscaler track, timestamped at
@@ -537,6 +549,7 @@ def autoscale(
             scenario=scenario,
             engine=engine,
             overload=overload,
+            detector=detector,
         )
         action = policy.decide(result)
         if trace is not None and action != 0:

@@ -248,6 +248,92 @@ class TraceRecorder:
                 (tenant, target), now, {"tenant": tenant, "requeued": True}
             )
 
+    # ------------------------------------------------- timeouts & failover
+    def _close_any(
+        self, key: _Key, now: float, args: Dict[str, Any], *, phase: str
+    ) -> None:
+        """Close the oldest open span in ``phase`` (queue or pipeline).
+
+        Span identity is approximate for mid-queue removals (the
+        timeout sweep reaps by age, not position) — the oldest open
+        span is the closest stand-in, same convention as
+        :meth:`request_expired`.  Defensive: a missing span is skipped
+        rather than corrupting the deque bookkeeping.
+        """
+        book = self._pipeline if phase == "pipeline" else self._queued
+        spans = book.get(key)
+        if not spans:
+            return
+        span_id = spans.popleft()
+        self._emit(
+            "e", "request", now, self._track(*key),
+            span_id=span_id, args=args,
+        )
+
+    def request_timeout(
+        self, tenant: str, replica: Optional[int], now: float
+    ) -> None:
+        """A queued request outlived its timeout with no failover left."""
+        self._close_any(
+            (tenant, replica), now, {"outcome": "timed_out"}, phase="queue"
+        )
+
+    def request_errored(
+        self, tenant: str, replica: Optional[int], now: float
+    ) -> None:
+        """A flaky replica returned an error and the budget was spent."""
+        self._close_any(
+            (tenant, replica), now, {"outcome": "errored"}, phase="pipeline"
+        )
+
+    def request_failover(
+        self,
+        tenant: str,
+        replica: Optional[int],
+        now: float,
+        *,
+        target: Optional[int] = None,
+        phase: str = "queue",
+    ) -> None:
+        """A timed-out/errored request re-dispatched to another replica."""
+        self._close_any(
+            (tenant, replica), now,
+            {"outcome": "failed_over", "target": target}, phase=phase,
+        )
+        self._open(
+            (tenant, target), now, {"tenant": tenant, "failover": True}
+        )
+
+    # ------------------------------------------------------ failure detection
+    def replica_ejected(
+        self, target: str, now: float, *, reason: str = ""
+    ) -> None:
+        """The failure detector pulled a replica out of routing."""
+        args: Dict[str, Any] = {}
+        if reason:
+            args["reason"] = reason
+        self._emit(
+            "i", "ejected", now, target, cat="detector", args=args or None
+        )
+
+    def replica_readmitted(self, target: str, now: float) -> None:
+        """An ejected replica passed probation and rejoined routing."""
+        self._emit("i", "readmitted", now, target, cat="detector")
+
+    def degradation_begin(
+        self, target: str, now: float, *, mode: str, severity: float
+    ) -> None:
+        """A gray-failure window opened on a replica."""
+        self._emit(
+            "B", "gray", now, target, cat="incident",
+            args={"mode": mode, "severity": severity},
+        )
+
+    def degradation_end(self, target: str, now: float, *, mode: str) -> None:
+        self._emit(
+            "E", "gray", now, target, cat="incident", args={"mode": mode}
+        )
+
     # -------------------------------------------------------------- incidents
     def incident_begin(self, target: str, now: float, kind: str = "fault") -> None:
         self._emit("B", kind, now, target, cat="incident")

@@ -21,8 +21,13 @@ into the existing simulators without forking them:
 
 from .faults import (
     FAILURE_POLICIES,
+    GRAY_MODES,
+    Degradation,
+    DegradedReplica,
     FaultSpec,
+    FlakyReplica,
     Incident,
+    LinkDelay,
     Outage,
     RackFailure,
     RandomFaults,
@@ -54,14 +59,19 @@ from .surges import (
 
 __all__ = [
     "FAILURE_POLICIES",
+    "GRAY_MODES",
     "FaultSpec",
     "Incident",
     "Outage",
+    "Degradation",
     "RandomFaults",
     "ScheduledOutage",
     "RackFailure",
     "RollingReboot",
     "RedundancyOutage",
+    "DegradedReplica",
+    "FlakyReplica",
+    "LinkDelay",
     "SCENARIOS",
     "SCENARIO_NAMES",
     "ScenarioSpec",

@@ -21,6 +21,15 @@ What failure means for requests is the scenario's ``failure_policy``
 is always lost with the board, while its *queued* requests are either
 ``requeue``-d through the balancer to surviving replicas or ``lost``
 outright (modelling state that dies with the host).
+
+Binary outages are only half the story: real fleets mostly fail *gray*.
+The degraded specs (:class:`DegradedReplica`, :class:`FlakyReplica`,
+:class:`LinkDelay`) materialize into :class:`Degradation` windows the
+same way outages do — same fault RNG substream, same up-front schedule —
+but instead of taking a replica down they slow its epochs, fail a seeded
+fraction of its requests, or add router→replica latency.  A gray replica
+still answers the oracle health check, which is exactly why detection
+(see :mod:`repro.fleet.detector`) becomes interesting.
 """
 
 from __future__ import annotations
@@ -28,11 +37,13 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import asdict, dataclass
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 __all__ = [
     "FAILURE_POLICIES",
+    "GRAY_MODES",
     "Outage",
+    "Degradation",
     "Incident",
     "FaultSpec",
     "RandomFaults",
@@ -40,6 +51,9 @@ __all__ = [
     "RackFailure",
     "RollingReboot",
     "RedundancyOutage",
+    "DegradedReplica",
+    "FlakyReplica",
+    "LinkDelay",
     "fault_to_dict",
     "fault_from_dict",
 ]
@@ -47,6 +61,12 @@ __all__ = [
 #: What happens to a failed replica's queued requests: re-routed through
 #: the balancer to healthy replicas, or destroyed with the board.
 FAILURE_POLICIES = ("requeue", "lost")
+
+#: The ways a replica degrades without dying.  ``slow`` multiplies epoch
+#: time (severity = slowdown factor), ``flaky`` fails dispatched requests
+#: (severity = error probability), ``link-delay`` adds router→replica
+#: latency (severity = delay in epochs).
+GRAY_MODES = ("slow", "flaky", "link-delay")
 
 
 @dataclass(frozen=True)
@@ -63,6 +83,38 @@ class Outage:
             raise ValueError(
                 f"outage window [{self.start}, {self.end}) is empty or negative"
             )
+
+
+@dataclass(frozen=True)
+class Degradation:
+    """One materialized gray window of one replica (cycles, absolute).
+
+    The gray analogue of :class:`Outage`: the replica keeps serving, but
+    worse.  ``mode`` is one of :data:`GRAY_MODES` and fixes the meaning
+    of ``severity`` — a slowdown factor (``slow``), a per-dispatch error
+    probability (``flaky``), or an added latency in epochs
+    (``link-delay``).
+    """
+
+    replica: int
+    start: float
+    end: float
+    mode: str
+    severity: float
+    cause: str
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end <= self.start:
+            raise ValueError(
+                f"degradation window [{self.start}, {self.end}) is empty "
+                "or negative"
+            )
+        if self.mode not in GRAY_MODES:
+            raise ValueError(
+                f"unknown gray mode {self.mode!r}; known: {GRAY_MODES}"
+            )
+        if self.severity <= 0:
+            raise ValueError("severity must be positive")
 
 
 @dataclass(frozen=True)
@@ -106,6 +158,12 @@ class FaultSpec:
         self, horizon: float, num_replicas: int, rng: random.Random
     ) -> List[Outage]:
         raise NotImplementedError
+
+    def materialize_gray(
+        self, horizon: float, num_replicas: int, rng: random.Random
+    ) -> List[Degradation]:
+        """Concrete gray windows; binary fault specs have none."""
+        return []
 
 
 def _check_window(start: float, duration: float, relative: bool) -> None:
@@ -309,12 +367,167 @@ class RedundancyOutage(FaultSpec):
         ]
 
 
+class _GraySpec(FaultSpec):
+    """Shared shape for gray specs: a window plus affected members.
+
+    ``replica`` targets one board; setting ``fraction`` instead degrades
+    the first ``ceil(fraction * N)`` replicas together (same front-of-
+    fleet convention as :class:`RackFailure`, so a storm composes with a
+    redundancy outage without overlapping it).  Gray specs produce no
+    :class:`Outage` windows — their whole point is that the board stays
+    "up".
+    """
+
+    #: Gray mode this spec materializes; set on each concrete spec.
+    mode = "abstract"
+
+    def materialize(
+        self, horizon: float, num_replicas: int, rng: random.Random
+    ) -> List[Outage]:
+        return []
+
+    def _members(self, num_replicas: int) -> List[int]:
+        fraction = getattr(self, "fraction", None)
+        if fraction is None:
+            if self.replica >= num_replicas:
+                return []
+            return [self.replica]
+        members = math.ceil(fraction * num_replicas)
+        return list(range(min(members, num_replicas)))
+
+    def _windows(
+        self, horizon: float, num_replicas: int, severity: float
+    ) -> List[Degradation]:
+        start = _scale(self.start, horizon, self.relative)
+        duration = _scale(self.duration, horizon, self.relative)
+        if start >= horizon:
+            return []
+        return [
+            Degradation(
+                replica, start, start + duration, mode=self.mode,
+                severity=severity, cause=self.kind,
+            )
+            for replica in self._members(num_replicas)
+        ]
+
+    def _check_members(self) -> None:
+        fraction = getattr(self, "fraction", None)
+        if fraction is None:
+            if self.replica < 0:
+                raise ValueError("replica index must be non-negative")
+        elif not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        _check_window(self.start, self.duration, self.relative)
+
+
+@dataclass(frozen=True)
+class DegradedReplica(_GraySpec):
+    """A straggler: the replica's epochs run ``slowdown`` times slower.
+
+    Models thermal throttling, a failing DIMM, a noisy neighbour — the
+    board still completes every request, just at ``1/slowdown`` of its
+    design throughput and with proportionally stretched latency.  A
+    ``fraction`` turns one straggler into a straggler storm.
+    """
+
+    kind = "degraded"
+    mode = "slow"
+
+    replica: int = 0
+    slowdown: float = 4.0
+    start: float = 0.3
+    duration: float = 0.3
+    fraction: Optional[float] = None
+    relative: bool = True
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ValueError(
+                f"slowdown must be >= 1, got {self.slowdown}"
+            )
+        self._check_members()
+
+    def materialize_gray(
+        self, horizon: float, num_replicas: int, rng: random.Random
+    ) -> List[Degradation]:
+        return self._windows(horizon, num_replicas, self.slowdown)
+
+
+@dataclass(frozen=True)
+class FlakyReplica(_GraySpec):
+    """A flaky board: each dispatched request errors with ``error_rate``.
+
+    The error draw happens per dispatch on the cluster's dedicated
+    flaky substream, so enabling flakiness never perturbs arrival or
+    balancer draws.  Errored attempts fail over to another replica when
+    a detector allows it, otherwise they are lost.
+    """
+
+    kind = "flaky"
+    mode = "flaky"
+
+    replica: int = 0
+    error_rate: float = 0.3
+    start: float = 0.2
+    duration: float = 0.5
+    fraction: Optional[float] = None
+    relative: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.error_rate <= 1.0:
+            raise ValueError(
+                f"error_rate must be in (0, 1], got {self.error_rate}"
+            )
+        self._check_members()
+
+    def materialize_gray(
+        self, horizon: float, num_replicas: int, rng: random.Random
+    ) -> List[Degradation]:
+        return self._windows(horizon, num_replicas, self.error_rate)
+
+
+@dataclass(frozen=True)
+class LinkDelay(_GraySpec):
+    """A slow link: every request to the replica pays ``delay_epochs``.
+
+    Added router→replica latency, expressed in epochs so the same named
+    scenario stresses designs with different epoch lengths identically.
+    Throughput is untouched — only latency (and hence p99 outlier
+    detection and request timeouts) feels it.
+    """
+
+    kind = "link-delay"
+    mode = "link-delay"
+
+    replica: int = 0
+    delay_epochs: float = 2.0
+    start: float = 0.2
+    duration: float = 0.5
+    fraction: Optional[float] = None
+    relative: bool = True
+
+    def __post_init__(self) -> None:
+        if self.delay_epochs <= 0:
+            raise ValueError(
+                f"delay_epochs must be positive, got {self.delay_epochs}"
+            )
+        self._check_members()
+
+    def materialize_gray(
+        self, horizon: float, num_replicas: int, rng: random.Random
+    ) -> List[Degradation]:
+        return self._windows(horizon, num_replicas, self.delay_epochs)
+
+
 _FAULT_KINDS = (
     RandomFaults,
     ScheduledOutage,
     RackFailure,
     RollingReboot,
     RedundancyOutage,
+    DegradedReplica,
+    FlakyReplica,
+    LinkDelay,
 )
 
 

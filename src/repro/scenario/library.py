@@ -36,7 +36,10 @@ from ..serve.overload import (
 )
 from .faults import (
     FAILURE_POLICIES,
+    DegradedReplica,
     FaultSpec,
+    FlakyReplica,
+    LinkDelay,
     RackFailure,
     RandomFaults,
     RedundancyOutage,
@@ -237,6 +240,11 @@ class ScenarioSpec:
     #: retries, admission, discipline, brownout).  A run-level
     #: ``overload=`` argument wins over the scenario's.
     overload: Optional[OverloadSpec] = None
+    #: How the fleet learns replica health (:mod:`repro.fleet.detector`):
+    #: oracle vs probe-based detection, plus request timeouts and
+    #: failover budget.  A run-level ``detector=`` argument wins over
+    #: the scenario's.
+    detector: Optional["DetectorSpec"] = None
 
     def __post_init__(self) -> None:
         if self.failure_policy not in FAILURE_POLICIES:
@@ -252,6 +260,7 @@ class ScenarioSpec:
             not self.faults
             and self.surge is None
             and (self.overload is None or not self.overload.active)
+            and (self.detector is None or not self.detector.active)
         )
 
     def with_redundancy(
@@ -275,6 +284,27 @@ class ScenarioSpec:
             faults=self.faults + (forced,),
         )
 
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a named scenario; raises with the valid names on a miss."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}"
+        ) from None
+
+
+# Deferred deliberately: ``repro.fleet.cluster`` imports ``ScenarioSpec``
+# and ``get_scenario`` from this module at *its* import time, so pulling
+# the (leaf) detector module any earlier would leave the cycle
+# unresolvable when ``repro.scenario`` loads first.  By this point every
+# name the fleet layer needs from us is bound.
+from ..fleet.detector import (  # noqa: E402
+    DetectorSpec,
+    detector_spec_from_dict,
+    detector_spec_to_dict,
+)
 
 SCENARIOS: Dict[str, ScenarioSpec] = {
     spec.name: spec
@@ -381,20 +411,68 @@ SCENARIOS: Dict[str, ScenarioSpec] = {
                 deadline_ms=2.0,
             ),
         ),
+        ScenarioSpec(
+            name="gray-failure",
+            description=(
+                "The everything-is-technically-up drill: one straggler, "
+                "one flaky board, and one slow link overlap mid-run while "
+                "probe-based detection (with request timeouts and bounded "
+                "failover) has to notice what the oracle health check "
+                "never will."
+            ),
+            faults=(
+                DegradedReplica(replica=0, slowdown=6.0, start=0.25, duration=0.4),
+                FlakyReplica(replica=1, error_rate=0.4, start=0.3, duration=0.4),
+                LinkDelay(replica=2, delay_epochs=3.0, start=0.35, duration=0.4),
+            ),
+            detector=DetectorSpec(
+                mode="probe",
+                request_timeout_ms=2.0,
+                max_failovers=2,
+            ),
+        ),
+        ScenarioSpec(
+            name="straggler-storm",
+            description=(
+                "A third of the fleet throttles to 1/8 speed over the "
+                "middle of the run — no errors, no downtime, just tail "
+                "latency — and only p99 outlier ejection plus request "
+                "timeouts keep goodput up."
+            ),
+            faults=(
+                DegradedReplica(
+                    fraction=0.34, slowdown=8.0, start=0.3, duration=0.4
+                ),
+            ),
+            detector=DetectorSpec(
+                mode="probe",
+                outlier_p99_factor=2.0,
+                request_timeout_ms=3.0,
+                max_failovers=1,
+            ),
+        ),
+        ScenarioSpec(
+            name="flaky-replica",
+            description=(
+                "One board fails half its requests over the middle half "
+                "of the run; Envoy-style error-rate ejection has to pull "
+                "it from rotation while failover rescues the attempts "
+                "already burned."
+            ),
+            faults=(
+                FlakyReplica(replica=0, error_rate=0.5, start=0.25, duration=0.5),
+            ),
+            detector=DetectorSpec(
+                mode="probe",
+                outlier_error_rate=0.25,
+                request_timeout_ms=4.0,
+                max_failovers=2,
+            ),
+        ),
     )
 }
 
 SCENARIO_NAMES: Tuple[str, ...] = tuple(sorted(SCENARIOS))
-
-
-def get_scenario(name: str) -> ScenarioSpec:
-    """Look up a named scenario; raises with the valid names on a miss."""
-    try:
-        return SCENARIOS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scenario {name!r}; known: {', '.join(SCENARIO_NAMES)}"
-        ) from None
 
 
 def describe_scenario(spec: ScenarioSpec) -> str:
@@ -427,6 +505,12 @@ def describe_scenario(spec: ScenarioSpec) -> str:
                 lines.append(f"    - {key}: {detail}")
             else:
                 lines.append(f"    - {key}: {value}")
+    if spec.detector is not None:
+        record = detector_spec_to_dict(spec.detector)
+        lines.append(f"  detector: {record.pop('mode')}")
+        for key, value in sorted(record.items()):
+            if value is not None:
+                lines.append(f"    - {key}: {value}")
     if spec.is_noop:
         lines.append("  (no-op: bit-exact to running without a scenario)")
     return "\n".join(lines)
@@ -444,6 +528,8 @@ def scenario_to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
         record["surge"] = _shape_to_dict(spec.surge)
     if spec.overload is not None:
         record["overload"] = overload_spec_to_dict(spec.overload)
+    if spec.detector is not None:
+        record["detector"] = detector_spec_to_dict(spec.detector)
     return record
 
 
@@ -451,6 +537,7 @@ def scenario_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
     """Rebuild a scenario spec from its :func:`scenario_to_dict` record."""
     surge = data.get("surge")
     overload = data.get("overload")
+    detector = data.get("detector")
     return ScenarioSpec(
         name=str(data["name"]),
         description=str(data.get("description", "")),
@@ -460,6 +547,11 @@ def scenario_from_dict(data: Dict[str, Any]) -> ScenarioSpec:
         overload=(
             overload_spec_from_dict(overload)
             if overload is not None
+            else None
+        ),
+        detector=(
+            detector_spec_from_dict(detector)
+            if detector is not None
             else None
         ),
     )

@@ -58,6 +58,10 @@ class ResilienceReport:
     mean_time_to_recover_cycles: Optional[float]
     during: WindowMetrics
     outside: WindowMetrics
+    #: Mean lag between a replica truly going bad (outage or gray
+    #: onset) and the failure detector ejecting it; ``None`` for oracle
+    #: detection (which has no lag) or when nothing was detected.
+    mean_time_to_detect_cycles: Optional[float] = None
 
     @property
     def p99_degradation(self) -> Optional[float]:
@@ -119,6 +123,7 @@ def compute_resilience(
     horizon_cycles: float,
     num_replicas: int,
     lost_requests: int,
+    mean_time_to_detect_cycles: Optional[float] = None,
 ) -> ResilienceReport:
     """Summarize a run's behaviour inside vs outside its incidents.
 
@@ -169,4 +174,5 @@ def compute_resilience(
         outside=_window_metrics(
             outside, max(horizon_cycles - incident_cycles, 0.0)
         ),
+        mean_time_to_detect_cycles=mean_time_to_detect_cycles,
     )

@@ -112,6 +112,16 @@ class TenantStats:
     #: The tenant's scheduling priority class (higher = more important);
     #: 0 unless overload control assigned one.
     priority: int = 0
+    #: Requests whose timeout expired with the failover budget spent —
+    #: the request was abandoned unserved.  Always 0 unless a
+    #: :class:`~repro.fleet.detector.DetectorSpec` armed
+    #: ``request_timeout_ms``.
+    timed_out: int = 0
+    #: Logical requests that failed over to another replica at least
+    #: once (after a timeout or a flaky-replica error).  Counted once
+    #: per request regardless of how many hops it took; informational —
+    #: not a term of the conservation invariant.
+    failed_over: int = 0
 
     @property
     def drop_rate(self) -> float:
@@ -120,7 +130,7 @@ class TenantStats:
     @property
     def shed_rate(self) -> float:
         """Fraction of arrivals not served: drops, losses, rejections,
-        and in-queue expiries.
+        in-queue expiries, and timeouts.
 
         This is the rate an SLO drop budget must cover — a client retries
         a request lost to a dead board exactly like one shed by a full
@@ -129,7 +139,10 @@ class TenantStats:
         ``max_drop_rate``."""
         if not self.arrivals:
             return 0.0
-        shed = self.drops + self.lost + self.rejected + self.expired
+        shed = (
+            self.drops + self.lost + self.rejected + self.expired
+            + self.timed_out
+        )
         return shed / self.arrivals
 
     @property

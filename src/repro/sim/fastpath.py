@@ -68,22 +68,31 @@ ENGINES = ("auto", "fast", "event")
 
 
 def resolve_engine(
-    engine: str, *, has_scenario: bool = False, has_overload: bool = False
+    engine: str,
+    *,
+    has_scenario: bool = False,
+    has_overload: bool = False,
+    has_detector: bool = False,
 ) -> str:
     """Pick the concrete engine for a run.
 
     ``auto`` selects the fast path whenever no fault/surge scenario is
-    in play and no overload feature (admission, non-FIFO discipline,
-    retries, brownout, deadlines) is active; the event engine remains
-    the reference (and only) path for those runs — failure events and
-    retry feedback loops genuinely interleave with traffic.  Requesting
-    ``fast`` together with either is an error rather than a silent
-    downgrade.
+    in play, no overload feature (admission, non-FIFO discipline,
+    retries, brownout, deadlines) is active, and no *active* failure
+    detector (probe mode or request timeouts) is armed; the event
+    engine remains the reference (and only) path for those runs —
+    failure events, retry feedback loops, and probe/timeout events
+    genuinely interleave with traffic.  Requesting ``fast`` together
+    with any of them is an error rather than a silent downgrade.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     if engine == "auto":
-        return "event" if (has_scenario or has_overload) else "fast"
+        return (
+            "event"
+            if (has_scenario or has_overload or has_detector)
+            else "fast"
+        )
     if engine == "fast" and has_scenario:
         raise ValueError(
             "engine='fast' cannot run fault/surge scenarios; "
@@ -94,6 +103,12 @@ def resolve_engine(
             "engine='fast' cannot run overload control (admission, "
             "queue disciplines, retries, brownout, deadlines); "
             "use engine='event' (or 'auto') for overload runs"
+        )
+    if engine == "fast" and has_detector:
+        raise ValueError(
+            "engine='fast' cannot run an active failure detector "
+            "(probe mode or request timeouts); use engine='event' "
+            "(or 'auto') for detector runs"
         )
     return engine
 

@@ -24,7 +24,7 @@ The load-bearing guarantees, in test order:
   pre-fault rate long after the fault clears; token-bucket admission
   plus capped jittered backoff recovers to >= 90% on the same seed;
 * **request conservation** (hypothesis): ``arrivals == completions +
-  drops + lost + rejected + expired + in_flight`` per tenant across
+  drops + lost + rejected + expired + timed_out + in_flight`` per tenant across
   queue policies, admission, retries, deadlines, and fault schedules;
 * serialization: overload-free records stay byte-identical to
   pre-overload records (pruned keys), active records round-trip
@@ -108,7 +108,7 @@ def _serve(design, rate_mult, *, epochs=60, seed=0, overload=None,
 
 def _fleet(design, replicas, rate_mult, *, epochs=60, seed=0, overload=None,
            engine="auto", queue_depth=64, policy="drop-tail", drain=False,
-           scenario=None, balancer="round-robin"):
+           scenario=None, balancer="round-robin", detector=None):
     return simulate_fleet(
         DeviceSpec(design).replicated(replicas),
         _tenants(design, rate_mult),
@@ -121,6 +121,7 @@ def _fleet(design, replicas, rate_mult, *, epochs=60, seed=0, overload=None,
         scenario=scenario,
         engine=engine,
         overload=overload,
+        detector=detector,
     )
 
 
@@ -131,8 +132,10 @@ def _epoch_ms(design, frequency_mhz=100.0):
 def _assert_conserved(result):
     for tenant in result.tenants:
         out = (tenant.completions + tenant.drops + tenant.lost
-               + tenant.rejected + tenant.expired + tenant.in_flight)
+               + tenant.rejected + tenant.expired + tenant.timed_out
+               + tenant.in_flight)
         assert tenant.arrivals == out, tenant
+        assert 0 <= tenant.failed_over <= tenant.arrivals
 
 
 @pytest.fixture(scope="module")
@@ -553,7 +556,7 @@ class TestConservationProperty:
         admit=st.sampled_from([None, "bucket", "deadline"]),
         retries=st.sampled_from([None, 0, 2]),
         deadline_epochs=st.sampled_from([None, 3]),
-        scenario=st.sampled_from([None, "rack-loss"]),
+        scenario=st.sampled_from([None, "rack-loss", "gray-failure"]),
         drain=st.booleans(),
     )
     def test_requests_conserved(self, toy_design, seed, queue_policy, admit,
@@ -584,7 +587,7 @@ class TestConservationProperty:
         _assert_conserved(result)
         total_out = sum(
             t.completions + t.drops + t.lost + t.rejected + t.expired
-            + t.in_flight
+            + t.timed_out + t.in_flight
             for t in result.tenants
         )
         assert sum(t.arrivals for t in result.tenants) == total_out

@@ -11,9 +11,10 @@ The load-bearing guarantees, in test order:
 * **no-op differential**: running with the ``steady`` scenario is
   bit-exact to running with no scenario at all — fault plumbing on its
   own RNG substream can never perturb a plain simulation;
-* **request conservation** (hypothesis): under every fault schedule and
-  failure policy, ``arrivals == completions + drops + lost + in_flight``
-  per tenant and in aggregate;
+* **request conservation** (hypothesis): under every fault schedule,
+  gray degradation, and failure policy, ``arrivals == completions +
+  drops + lost + timed_out + in_flight`` per tenant and in aggregate,
+  with each failed-over request counted at most once;
 * the N+k planner is monotone: surviving one forced failure never takes
   *fewer* replicas than surviving zero;
 * the autoscaler sees in-incident p99 — reproducing the late-scale-up
@@ -87,7 +88,7 @@ def _tenants(design, rate_mult):
 
 def _fleet(design, replicas, rate_mult, *, epochs=60, seed=0,
            balancer="round-robin", queue_depth=10**6, policy="drop-tail",
-           drain=False, scenario=None):
+           drain=False, scenario=None, detector=None):
     return simulate_fleet(
         DeviceSpec(design).replicated(replicas),
         _tenants(design, rate_mult),
@@ -98,6 +99,7 @@ def _fleet(design, replicas, rate_mult, *, epochs=60, seed=0,
         policy=policy,
         drain=drain,
         scenario=scenario,
+        detector=detector,
     )
 
 
@@ -292,7 +294,13 @@ class TestNoopDifferential:
 
 
 # -------------------------------------------------- conservation property
-FAULTY = ["rack-loss", "rolling-reboot", "chaos"]
+FAULTY = [
+    "rack-loss", "rolling-reboot", "chaos",
+    # Gray drills: stragglers, flaky boards, slow links — these embed
+    # probe detectors with request timeouts, so the property also
+    # covers the timed_out / failed_over classes.
+    "gray-failure", "straggler-storm", "flaky-replica",
+]
 
 
 class TestConservation:
@@ -314,8 +322,11 @@ class TestConservation:
         total = {"arrivals": 0, "out": 0}
         for tenant in result.tenants:
             out = (tenant.completions + tenant.drops + tenant.lost
-                   + tenant.in_flight)
+                   + tenant.timed_out + tenant.in_flight)
             assert tenant.arrivals == out, tenant
+            # A logical request increments failed_over at most once no
+            # matter how many failover hops it takes.
+            assert 0 <= tenant.failed_over <= tenant.arrivals
             total["arrivals"] += tenant.arrivals
             total["out"] += out
         assert total["arrivals"] == total["out"]
